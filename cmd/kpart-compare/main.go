@@ -1,0 +1,73 @@
+// Command kpart-compare runs the protocol-comparison ablations (DESIGN.md
+// A1–A3): the paper's exact uniform k-partition protocol against the
+// repeated-bipartition construction (k = 2^h) and the approximate
+// interval-splitting baseline, plus the scheduler-sensitivity ablation.
+//
+// Usage:
+//
+//	kpart-compare [-n 64] [-k 4] [-trials 20] [-seed 7] [-out results]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 64, "population size")
+		k      = flag.Int("k", 4, "number of groups")
+		trials = flag.Int("trials", 20, "trials per contender")
+		seed   = flag.Uint64("seed", 7, "root seed")
+		outDir = flag.String("out", "results", "directory for CSV output")
+	)
+	flag.Parse()
+
+	rows, err := harness.Compare(*n, *k, *trials, *seed, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kpart-compare:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("=== Protocol comparison at n=%d, k=%d (%d trials) ===\n", *n, *k, *trials)
+	tbl := harness.CompareTable(rows)
+	fmt.Print(tbl.String())
+	if path, err := harness.WriteCSVFile(*outDir, "compare.csv", tbl); err == nil {
+		fmt.Println("wrote", path)
+	} else {
+		fmt.Fprintln(os.Stderr, "kpart-compare:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\n=== Scheduler ablation at n=%d, k=%d ===\n", *n, *k)
+	srows, err := harness.RunSchedulerAblation(*n, *k, *trials, *seed, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kpart-compare:", err)
+		os.Exit(1)
+	}
+	stbl := harness.SchedulerTable(srows)
+	fmt.Print(stbl.String())
+	if path, err := harness.WriteCSVFile(*outDir, "scheduler.csv", stbl); err == nil {
+		fmt.Println("wrote", path)
+	} else {
+		fmt.Fprintln(os.Stderr, "kpart-compare:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\n=== Topology survey at n=%d, k=%d (does the complete-graph assumption matter?) ===\n", *n, *k)
+	trows, err := harness.RunTopologySurvey(*n, *k, *trials, *seed, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kpart-compare:", err)
+		os.Exit(1)
+	}
+	ttbl := harness.TopologyTable(trows)
+	fmt.Print(ttbl.String())
+	if path, err := harness.WriteCSVFile(*outDir, "topology.csv", ttbl); err == nil {
+		fmt.Println("wrote", path)
+	} else {
+		fmt.Fprintln(os.Stderr, "kpart-compare:", err)
+		os.Exit(1)
+	}
+}

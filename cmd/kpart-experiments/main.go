@@ -1,0 +1,243 @@
+// Command kpart-experiments regenerates the paper's evaluation figures
+// (Section 5) as CSV files plus ASCII charts on stdout:
+//
+//	fig3 — interactions vs n for k in {4,6,8} (jagged, period k)
+//	fig4 — per-grouping decomposition of the same sweep (stacked)
+//	fig5 — interactions vs n = 120·n' for k in {3,4,5,6} (n mod k = 0)
+//	fig6 — interactions vs k at n = 960, log scale (exponential in k)
+//
+// Usage:
+//
+//	kpart-experiments -fig all [-trials 100] [-seed 20180725] [-out results] [-quick]
+//
+// -quick shrinks every sweep (fewer trials, smaller ranges) to finish in
+// seconds; use it to smoke-test the harness before a full reproduction.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "which figure to run: 3, 4, 5, 6, or all")
+		trials  = flag.Int("trials", harness.DefaultTrials, "trials per parameter point")
+		seed    = flag.Uint64("seed", harness.DefaultSeed, "root seed")
+		outDir  = flag.String("out", "results", "directory for CSV output")
+		workers = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+		quick   = flag.Bool("quick", false, "shrink all sweeps for a fast smoke run")
+		nmax    = flag.Int("nmax", 60, "fig3/4: maximum n")
+		fig6max = flag.Int("fig6max", 12, "fig6: largest k (divisor of 960)")
+		engine  = flag.String("engine", "agent", "simulation backend: agent or count (count skips null runs; same distribution, faster tails)")
+	)
+	flag.Parse()
+
+	var eng harness.Engine
+	switch *engine {
+	case "agent":
+		eng = harness.EngineAgent
+	case "count":
+		eng = harness.EngineCount
+	default:
+		fmt.Fprintf(os.Stderr, "kpart-experiments: unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+
+	if *quick {
+		if *trials == harness.DefaultTrials {
+			*trials = 10
+		}
+		if *nmax == 60 {
+			*nmax = 30
+		}
+		if *fig6max == 12 {
+			*fig6max = 6
+		}
+	}
+
+	run := func(name string, f func() error) {
+		want := *fig == "all" || *fig == name || *fig == "fig"+name
+		if !want {
+			return
+		}
+		start := time.Now()
+		fmt.Printf("=== Figure %s ===\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "kpart-experiments: figure %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(figure %s done in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("3", func() error { return fig3(*trials, *seed, *outDir, *workers, *nmax, false, eng) })
+	run("4", func() error { return fig3(*trials, *seed, *outDir, *workers, *nmax, true, eng) })
+	run("5", func() error { return fig5(*trials, *seed, *outDir, *workers, *quick, eng) })
+	run("6", func() error { return fig6(*trials, *seed, *outDir, *workers, *fig6max, eng) })
+	if *fig == "traj" {
+		start := time.Now()
+		fmt.Println("=== Convergence trajectories (auxiliary) ===")
+		if err := traj(*trials, *seed, *outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "kpart-experiments: traj: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(trajectories done in %v)\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// traj renders the auxiliary convergence-trajectory experiment: mean
+// group-size spread over elapsed interactions, per k.
+func traj(trials int, seed uint64, outDir string) error {
+	cfg := harness.TrajectoryConfig{N: 60, Ks: []int{3, 4, 6}, Trials: trials, Seed: seed}
+	if cfg.Trials > 30 {
+		cfg.Trials = 30
+	}
+	series, err := harness.RunTrajectory(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(harness.TrajectoryChart(series).String())
+	path, err := harness.WriteCSVFile(outDir, "trajectory.csv", harness.TrajectoryTable(series))
+	if err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}
+
+func fig3(trials int, seed uint64, outDir string, workers, nmax int, grouping bool, eng harness.Engine) error {
+	cfg := harness.Fig3Config{
+		Ks: []int{4, 6, 8}, NMax: nmax, NStep: 1,
+		Trials: trials, Seed: seed, Workers: workers, Grouping: grouping, Engine: eng,
+	}
+	series, err := harness.RunFig3(cfg)
+	if err != nil {
+		return err
+	}
+	name := "fig3"
+	if grouping {
+		name = "fig4"
+	}
+	if !grouping {
+		chart := &report.LineChart{
+			Title:  "Figure 3: interactions to stabilize vs population size n",
+			XLabel: "n", YLabel: "mean interactions",
+		}
+		for _, s := range series {
+			chart.Series = append(chart.Series, harness.ToSeries(s))
+		}
+		fmt.Print(chart.String())
+		// The paper's observation: jaggedness with period k.
+		for _, s := range series {
+			fmt.Printf("k=%d: local dips where n mod k is small — inspect the CSV column n mod %d\n", s.K, s.K)
+		}
+	} else {
+		for _, s := range series {
+			fmt.Print(harness.GroupingBars(s).String())
+			if _, err := harness.WriteCSVFile(outDir, fmt.Sprintf("fig4_k%d.csv", s.K), harness.GroupingTable(s)); err != nil {
+				return err
+			}
+		}
+	}
+	path, err := harness.WriteCSVFile(outDir, name+".csv", harness.SweepTable(series))
+	if err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	jpath, err := harness.SaveJSON(outDir, name+".json", harness.ResultDoc{
+		Experiment: name, Seed: seed, Trials: trials, Series: series,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("wrote", jpath)
+	return nil
+}
+
+func fig5(trials int, seed uint64, outDir string, workers int, quick bool, eng harness.Engine) error {
+	cfg := harness.Fig5Config{Trials: trials, Seed: seed, Workers: workers, Engine: eng}
+	if quick {
+		cfg.Base = 60
+		cfg.NFactors = []int{1, 2, 3, 4}
+	}
+	series, err := harness.RunFig5(cfg)
+	if err != nil {
+		return err
+	}
+	chart := &report.LineChart{
+		Title:  "Figure 5: interactions vs n (n mod k = 0)",
+		XLabel: "n", YLabel: "mean interactions",
+	}
+	for _, s := range series {
+		chart.Series = append(chart.Series, harness.ToSeries(s))
+	}
+	fmt.Print(chart.String())
+	// Growth analysis: super-linear but sub-exponential in n.
+	for _, s := range series {
+		rs := harness.ToSeries(s)
+		readout, err := harness.GrowthReadout(fmt.Sprintf("fig5 k=%d", s.K), rs.X, rs.Y)
+		if err != nil {
+			return err
+		}
+		fmt.Println(readout)
+	}
+	path, err := harness.WriteCSVFile(outDir, "fig5.csv", harness.SweepTable(series))
+	if err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	jpath, err := harness.SaveJSON(outDir, "fig5.json", harness.ResultDoc{
+		Experiment: "fig5", Seed: seed, Trials: trials, Series: series,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("wrote", jpath)
+	return nil
+}
+
+func fig6(trials int, seed uint64, outDir string, workers, kmax int, eng harness.Engine) error {
+	var ks []int
+	for _, k := range []int{2, 3, 4, 5, 6, 8, 10, 12, 15, 16, 20, 24} {
+		if k <= kmax {
+			ks = append(ks, k)
+		}
+	}
+	cfg := harness.Fig6Config{Ks: ks, Trials: trials, Seed: seed, Workers: workers, Engine: eng}
+	pts, err := harness.RunFig6(cfg)
+	if err != nil {
+		return err
+	}
+	s := harness.Fig6Series(pts)
+	chart := &report.LineChart{
+		Title:  "Figure 6: interactions vs k at n=960 (log scale)",
+		XLabel: "k", YLabel: "mean interactions", LogY: true,
+		Series: []report.Series{s},
+	}
+	fmt.Print(chart.String())
+	readout, err := harness.GrowthReadout("fig6", s.X, s.Y)
+	if err != nil {
+		return err
+	}
+	fmt.Println(readout)
+	fmt.Print(harness.Fig6Table(pts).String())
+	path, err := harness.WriteCSVFile(outDir, "fig6.csv", harness.Fig6Table(pts))
+	if err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	jpath, err := harness.SaveJSON(outDir, "fig6.json", harness.ResultDoc{
+		Experiment: "fig6", Seed: seed, Trials: trials, Points: pts,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("wrote", jpath)
+	return nil
+}

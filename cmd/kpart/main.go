@@ -1,0 +1,118 @@
+// Command kpart runs one simulation of the uniform k-partition protocol
+// and reports the outcome: interactions to stability, the final group
+// sizes, and (optionally) a full interaction trace in JSON Lines.
+//
+// Usage:
+//
+//	kpart -n 24 -k 4 [-seed 1] [-max 0] [-rules] [-trace out.jsonl] [-v]
+//
+// Exit status is non-zero if the run hits the interaction cap before
+// stabilizing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/population"
+	"repro/internal/protocol"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 24, "population size (>= 3)")
+		k         = flag.Int("k", 4, "number of groups (>= 2)")
+		seed      = flag.Uint64("seed", 1, "random scheduler seed")
+		maxI      = flag.Uint64("max", 0, "interaction cap (0 = engine default)")
+		rules     = flag.Bool("rules", false, "print the protocol's transition rules and exit")
+		dot       = flag.Bool("dot", false, "print the protocol's state machine as Graphviz DOT and exit")
+		tracePath = flag.String("trace", "", "write a JSONL interaction trace to this file")
+		verbose   = flag.Bool("v", false, "print per-grouping progress marks")
+	)
+	flag.Parse()
+
+	p, err := core.New(*k)
+	if err != nil {
+		fatal(err)
+	}
+	if *rules {
+		fmt.Printf("%s: %d states (3k-2 = %d), designated initial state %q\n",
+			p.Name(), p.NumStates(), 3**k-2, p.StateName(p.InitialState()))
+		fmt.Print(protocol.FormatRules(p, protocol.Rules(p)))
+		return
+	}
+	if *dot {
+		if err := protocol.WriteDot(os.Stdout, p); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *n < 3 {
+		fatal(fmt.Errorf("n must be >= 3 (symmetric protocols cannot partition n=2)"))
+	}
+
+	target, err := p.TargetCounts(*n)
+	if err != nil {
+		fatal(err)
+	}
+	pop := population.New(p, *n)
+	opts := sim.Options{MaxInteractions: *maxI}
+
+	gc := &sim.GroupingCounter{Watch: p.G(*k)}
+	opts.Hooks = append(opts.Hooks, gc)
+
+	tally := core.NewTally(p)
+	opts.Hooks = append(opts.Hooks, sim.StepFunc(func(pop *population.Population, s sim.StepInfo) {
+		tally.Observe(s.Before.P, s.Before.Q)
+	}))
+
+	var traceFile *os.File
+	if *tracePath != "" {
+		traceFile, err = os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer traceFile.Close()
+		opts.Hooks = append(opts.Hooks, &trace.Writer{W: traceFile})
+	}
+
+	res, err := sim.Run(pop, sched.NewRandom(*seed), sim.NewCountTarget(p.CanonMap(), target), opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("protocol   %s (%d states)\n", p.Name(), p.NumStates())
+	fmt.Printf("population n=%d, seed=%d\n", *n, *seed)
+	if res.Converged {
+		fmt.Printf("stabilized after %d interactions (%d productive)\n", res.Interactions, res.Productive)
+	} else {
+		fmt.Printf("NOT stable after %d interactions (cap reached)\n", res.Interactions)
+	}
+	fmt.Printf("group sizes %v (spread %d)\n", res.GroupSizes, res.Spread())
+	fmt.Printf("final config %s\n", pop)
+	if *verbose {
+		for i, m := range gc.Marks {
+			fmt.Printf("  grouping %d complete at interaction %d\n", i+1, m)
+		}
+		fmt.Println("rule-family tally:")
+		for r := core.RuleKind(0); int(r) < core.NumRuleKinds; r++ {
+			if c := tally.Counts[r]; c > 0 {
+				fmt.Printf("  %-6s %d\n", r, c)
+			}
+		}
+		fmt.Printf("demolition fraction of productive interactions: %.4f\n", tally.DemolitionFraction())
+	}
+	if !res.Converged {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kpart:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,36 @@
+# The paper's uniform k-partition protocol for k = 4 (Algorithm 1),
+# emitted by parse.Format from the generated table. Run with a
+# population divisible by 4 so the stable configuration is quiescent:
+#   pp -f kpartition4.pp -n 40
+protocol uniform-4-partition
+symmetric
+init initial
+group g2 2
+group g3 3
+group g4 4
+group m2 2
+group m3 3
+rule initial initial -> initial' initial'
+rule initial initial' -> g1 m2
+rule initial g1 -> initial' g1
+rule initial g2 -> initial' g2
+rule initial g3 -> initial' g3
+rule initial g4 -> initial' g4
+rule initial m2 -> g2 m3
+rule initial m3 -> g3 g4
+rule initial d1 -> initial' d1
+rule initial d2 -> initial' d2
+rule initial' initial' -> initial initial
+rule initial' g1 -> initial g1
+rule initial' g2 -> initial g2
+rule initial' g3 -> initial g3
+rule initial' g4 -> initial g4
+rule initial' m2 -> g2 m3
+rule initial' m3 -> g3 g4
+rule initial' d1 -> initial d1
+rule initial' d2 -> initial d2
+rule g1 d1 -> initial initial
+rule g2 d2 -> initial d1
+rule m2 m2 -> d1 d1
+rule m2 m3 -> d1 d2
+rule m3 m3 -> d2 d2

@@ -1,0 +1,7 @@
+# Classic pairwise leader election: every agent starts a leader; when two
+# leaders meet, one is demoted. Exactly one leader survives.
+protocol leader-election
+init leader
+group leader 1
+group follower 2
+rule leader leader -> leader follower

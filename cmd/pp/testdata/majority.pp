@@ -1,0 +1,11 @@
+# Three-state approximate majority (Angluin, Aspnes, Eisenstat 2008).
+# Run with an input split, e.g.: pp -f majority.pp -init "x=60,y=40"
+protocol approx-majority
+init x
+group x 1
+group y 2
+group blank 1
+orule x y -> x blank
+orule y x -> y blank
+orule x blank -> x x
+orule y blank -> y y

@@ -1,0 +1,6 @@
+# One-way epidemic: pp -f rumor.pp -init "informed=1,susceptible=49"
+protocol rumor
+init susceptible
+group informed 1
+group susceptible 2
+orule informed susceptible -> informed informed

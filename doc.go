@@ -1,0 +1,26 @@
+// Package repro is a Go reproduction of "A Population Protocol for Uniform
+// k-partition under Global Fairness" (Yasumi, Kitamura, Ooshita, Izumi,
+// Inoue; IPDPS Workshops 2018 / IJNC 9(1), 2019).
+//
+// The implementation lives under internal/:
+//
+//   - internal/core       — the paper's protocol (Algorithm 1), its Lemma 1
+//     invariant and stable-configuration signature
+//   - internal/protocol   — the population protocol model (states, δ, f)
+//   - internal/population — configurations and interactions
+//   - internal/sched      — random / sweep / hostile schedulers
+//   - internal/sim        — the simulation engine and stop conditions
+//   - internal/explore    — exhaustive model checking of Theorem 1
+//   - internal/protocols  — bipartition, repeated bipartition, the interval
+//     baseline, R-generalized partition, classic protocols
+//   - internal/harness    — the Figure 3–6 experiment harness
+//
+// Binaries: cmd/kpart (single run), cmd/kpart-experiments (regenerate all
+// figures), cmd/kpart-verify (model checker), cmd/kpart-compare
+// (ablations). Runnable examples live in examples/.
+//
+// The benchmarks in this package (bench_test.go) regenerate a
+// representative point of every figure of the paper's evaluation; the full
+// sweeps live in cmd/kpart-experiments. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,89 @@
+// Faulttolerance: the paper's third motivating application — "it is also
+// possible to use uniform k-partition protocols for attaining
+// fault-tolerance" (Section 1.1, citing Delporte-Gallet et al., "When
+// birds die").
+//
+// A service must keep k = 3 replica groups balanced. Sensors die ("birds
+// die"); because the protocol has designated initial states, the
+// survivors can simply be reset to `initial` and re-partitioned from
+// scratch — the protocol needs no knowledge of n, so it works unchanged
+// after every failure wave. This example also contrasts the exact
+// protocol with the approximate interval baseline under the same failure
+// schedule.
+//
+//	go run ./examples/faulttolerance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/population"
+	"repro/internal/protocols/interval"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+const (
+	k          = 3
+	initialN   = 60
+	seed       = 4242
+	failWaves  = 4
+	deathsPerW = 7
+)
+
+func main() {
+	proto, err := core.New(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := interval.New(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := rng.New(seed)
+
+	n := initialN
+	fmt.Printf("replica service over %d nodes, %d groups; %d failure waves of %d deaths\n\n",
+		n, k, failWaves, deathsPerW)
+	fmt.Println("wave  survivors  encounters  exact-groups     spread  baseline-groups  spread")
+
+	for wave := 0; wave <= failWaves; wave++ {
+		// Re-partition the survivors with the paper's protocol.
+		pop := population.New(proto, n)
+		target, err := proto.TargetCounts(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run(pop, sched.NewRandomFrom(r),
+			sim.NewCountTarget(proto.CanonMap(), target), sim.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Spread() > 1 {
+			log.Fatalf("wave %d: exact protocol spread %d", wave, res.Spread())
+		}
+
+		// Same survivors under the approximate baseline.
+		bpop := population.New(base, n)
+		bres, err := sim.Run(bpop, sched.NewRandomFrom(r),
+			sim.NewCountsPredicate(base.Stable), sim.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%4d  %9d  %10d  %-15s  %6d  %-15s  %6d\n",
+			wave, n, res.Interactions, fmt.Sprint(res.GroupSizes), res.Spread(),
+			fmt.Sprint(bres.GroupSizes), bres.Spread())
+
+		// Birds die: a wave of crash failures. The survivors reset to
+		// `initial` and the loop re-partitions them.
+		n -= deathsPerW
+	}
+
+	fmt.Printf("\nafter every wave the exact protocol rebuilt groups within 1 agent of each other;\n")
+	fmt.Printf("the %d-state baseline (vs %d states) only promises each group >= n/%d nodes.\n",
+		base.NumStates(), proto.NumStates(), 2*k)
+}

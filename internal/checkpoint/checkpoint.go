@@ -1,0 +1,106 @@
+// Package checkpoint serializes a running simulation — configuration,
+// interaction counters, and the scheduler's generator state — so long runs
+// can be suspended, shipped, and resumed bit-exactly. The resume
+// equivalence (continuing from a checkpoint produces the identical future
+// as the uninterrupted run) is what the tests pin down; it holds because
+// every piece of dynamic state is either in the Population or in the
+// scheduler's Stateful generator.
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/population"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+// Snapshot is the serialized form of a paused run.
+type Snapshot struct {
+	// Protocol metadata for sanity checks at restore time.
+	Protocol  string `json:"protocol"`
+	NumStates int    `json:"states"`
+	// States is the full agent state vector.
+	States []protocol.State `json:"agent_states"`
+	// Counters.
+	Interactions uint64 `json:"interactions"`
+	Productive   uint64 `json:"productive"`
+	// Scheduler identity and generator state.
+	Scheduler string `json:"scheduler"`
+	RNGState  []byte `json:"rng_state,omitempty"`
+}
+
+// RNGCarrier is implemented by schedulers whose only dynamic state is a
+// Stateful generator (sched.Random qualifies via its exported Rand).
+type RNGCarrier interface {
+	// RNG returns the scheduler's generator.
+	RNG() *rng.Rand
+}
+
+// Capture snapshots a population and its scheduler.
+func Capture(pop *population.Population, s sched.Scheduler) (Snapshot, error) {
+	snap := Snapshot{
+		Protocol:     pop.Protocol().Name(),
+		NumStates:    pop.Protocol().NumStates(),
+		States:       pop.Snapshot(),
+		Interactions: pop.Interactions(),
+		Productive:   pop.Productive(),
+		Scheduler:    s.Name(),
+	}
+	if c, ok := s.(RNGCarrier); ok {
+		snap.RNGState = c.RNG().MarshalState()
+	}
+	return snap, nil
+}
+
+// Errors returned by Restore.
+var (
+	ErrProtocolMismatch  = errors.New("checkpoint: protocol does not match snapshot")
+	ErrSchedulerMismatch = errors.New("checkpoint: scheduler does not match snapshot")
+)
+
+// Restore rebuilds the population from a snapshot and rehydrates the
+// scheduler's generator. The caller supplies a protocol equal to the one
+// captured (verified by name and state count) and a scheduler of the same
+// kind.
+func Restore(p protocol.Protocol, s sched.Scheduler, snap Snapshot) (*population.Population, error) {
+	if p.Name() != snap.Protocol || p.NumStates() != snap.NumStates {
+		return nil, fmt.Errorf("%w: snapshot has %q/%d, got %q/%d",
+			ErrProtocolMismatch, snap.Protocol, snap.NumStates, p.Name(), p.NumStates())
+	}
+	if s.Name() != snap.Scheduler {
+		return nil, fmt.Errorf("%w: snapshot has %q, got %q", ErrSchedulerMismatch, snap.Scheduler, s.Name())
+	}
+	if len(snap.RNGState) > 0 {
+		c, ok := s.(RNGCarrier)
+		if !ok {
+			return nil, fmt.Errorf("%w: scheduler cannot restore generator state", ErrSchedulerMismatch)
+		}
+		if err := c.RNG().UnmarshalState(snap.RNGState); err != nil {
+			return nil, err
+		}
+	}
+	pop := population.FromStates(p, snap.States)
+	pop.SetCounters(snap.Interactions, snap.Productive)
+	return pop, nil
+}
+
+// Write serializes a snapshot as JSON.
+func Write(w io.Writer, snap Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// Read deserializes a snapshot.
+func Read(r io.Reader) (Snapshot, error) {
+	var snap Snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return snap, fmt.Errorf("checkpoint: %w", err)
+	}
+	return snap, nil
+}

@@ -1,0 +1,130 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/population"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// THE contract: a run paused at T and resumed must produce the identical
+// future as the uninterrupted run — same states, same counters, at every
+// subsequent step.
+func TestResumeEquivalence(t *testing.T) {
+	p := core.MustNew(4)
+	const n = 20
+	const pauseAt = 1500
+	const extra = 3000
+
+	// Uninterrupted reference run.
+	refPop := population.New(p, n)
+	refSched := sched.NewRandom(99)
+	if _, err := sim.Run(refPop, refSched, sim.After{N: pauseAt + extra}, sim.Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run to the pause point, capture, serialize, restore, continue.
+	pop := population.New(p, n)
+	s := sched.NewRandom(99)
+	if _, err := sim.Run(pop, s, sim.After{N: pauseAt}, sim.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Capture(pop, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := sched.NewRandom(0) // wrong seed on purpose; restore overwrites it
+	pop2, err := Restore(p, s2, snap2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pop2.Interactions() != pauseAt {
+		t.Fatalf("restored counter %d", pop2.Interactions())
+	}
+	if _, err := sim.Run(pop2, s2, sim.After{N: pauseAt + extra}, sim.Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < n; i++ {
+		if pop2.State(i) != refPop.State(i) {
+			t.Fatalf("agent %d diverged after resume: %d vs %d", i, pop2.State(i), refPop.State(i))
+		}
+	}
+	if pop2.Productive() != refPop.Productive() {
+		t.Fatalf("productive counters diverged: %d vs %d", pop2.Productive(), refPop.Productive())
+	}
+}
+
+func TestRestoreRejectsWrongProtocol(t *testing.T) {
+	p := core.MustNew(3)
+	pop := population.New(p, 6)
+	s := sched.NewRandom(1)
+	snap, err := Capture(pop, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(core.MustNew(4), sched.NewRandom(1), snap); !errors.Is(err, ErrProtocolMismatch) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestRestoreRejectsWrongScheduler(t *testing.T) {
+	p := core.MustNew(3)
+	pop := population.New(p, 6)
+	snap, err := Capture(pop, sched.NewRandom(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(p, sched.NewSweep(), snap); !errors.Is(err, ErrSchedulerMismatch) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestCaptureSchedulerWithoutRNG(t *testing.T) {
+	p := core.MustNew(3)
+	pop := population.New(p, 6)
+	snap, err := Capture(pop, sched.NewSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.RNGState) != 0 {
+		t.Fatal("sweep scheduler produced generator state")
+	}
+	// Restores cleanly (no generator to rehydrate).
+	if _, err := Restore(p, sched.NewSweep(), snap); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestRestoreRejectsCorruptRNGState(t *testing.T) {
+	p := core.MustNew(3)
+	pop := population.New(p, 6)
+	s := sched.NewRandom(1)
+	snap, err := Capture(pop, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.RNGState = []byte{0xFF, 1, 2}
+	if _, err := Restore(p, sched.NewRandom(2), snap); err == nil {
+		t.Fatal("corrupt generator state accepted")
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"repro/internal/protocol"
+)
+
+// Director is a protocol-aware scheduler that realizes the constructive
+// executions inside the paper's proofs of Lemmas 2–5: at every
+// configuration it schedules a pair that makes measurable progress toward
+// the stable configuration. It demonstrates (and the tests bound) that
+// under a favorable schedule the protocol stabilizes in O(n + k²)
+// productive interactions — the gap between this and the random
+// scheduler's exponential-in-k behavior (Figure 6) is exactly the paper's
+// open question about time complexity under probabilistic fairness.
+//
+// The priority order mirrors the case analysis of Lemma 3:
+//
+//  1. d-state cleanup (Cd): a d_i agent meets its g_i partner
+//     (rules 9/10), freeing agents;
+//  2. two m-heads (Cm2): crash them into d-states (rule 8);
+//  3. a single m-head (Cm1): feed it a free agent (rules 6/7), growing
+//     the current grouping;
+//  4. no m-head (Cm0 / Lemma 2): create one via the initial/initial'
+//     handshake — pair opposite I-parities (rule 5), or flip two
+//     same-parity free agents (rules 1/2) when all parities agree.
+//
+// Director implements sched.Scheduler (structurally; it avoids importing
+// the package to keep core dependency-free).
+type Director struct {
+	p *Protocol
+}
+
+// NewDirector returns a Director for p.
+func NewDirector(p *Protocol) *Director { return &Director{p: p} }
+
+// Name identifies the scheduler.
+func (d *Director) Name() string { return "director" }
+
+// view is the subset of sched.View the Director needs (kept local so core
+// does not import sched).
+type view interface {
+	N() int
+	State(i int) protocol.State
+}
+
+// Next returns the next pair to interact. If the configuration is stable
+// (no progress possible), it returns a harmless pair (the leftover free
+// agent with any partner, or (0, 1)); the engine's stop condition is
+// expected to fire before that matters.
+func (d *Director) Next(v view) (int, int) {
+	n := v.N()
+	p := d.p
+
+	// Single scan, bucketing the indices the case analysis needs.
+	var (
+		firstD       = -1
+		firstDIdx    int // d-level of firstD
+		firstM       = -1
+		firstMIdx    int
+		secondM      = -1
+		firstIni     = -1
+		firstBar     = -1
+		freeA, freeB = -1, -1 // any two free agents
+		gByLevel     = make([]int, p.k+1)
+	)
+	for i := range gByLevel {
+		gByLevel[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		s := v.State(i)
+		kind, idx := p.Decode(s)
+		switch kind {
+		case KindD:
+			if firstD == -1 {
+				firstD, firstDIdx = i, idx
+			}
+		case KindM:
+			if firstM == -1 {
+				firstM, firstMIdx = i, idx
+			} else if secondM == -1 {
+				secondM = i
+			}
+		case KindInitial:
+			if firstIni == -1 {
+				firstIni = i
+			}
+			if freeA == -1 {
+				freeA = i
+			} else if freeB == -1 {
+				freeB = i
+			}
+		case KindInitialBar:
+			if firstBar == -1 {
+				firstBar = i
+			}
+			if freeA == -1 {
+				freeA = i
+			} else if freeB == -1 {
+				freeB = i
+			}
+		case KindG:
+			if gByLevel[idx] == -1 {
+				gByLevel[idx] = i
+			}
+		}
+	}
+
+	// Case 1 (Cd): unwind a d-state against its matching g-level. Lemma 1
+	// guarantees the partner exists.
+	if firstD != -1 && gByLevel[firstDIdx] != -1 {
+		return firstD, gByLevel[firstDIdx]
+	}
+	// Case 2 (Cm2): crash two m-heads into d-states.
+	if firstM != -1 && secondM != -1 {
+		return firstM, secondM
+	}
+	// Case 3 (Cm1): feed the single m-head a free agent.
+	if firstM != -1 && (firstIni != -1 || firstBar != -1) {
+		free := firstIni
+		if free == -1 {
+			free = firstBar
+		}
+		return free, firstM
+	}
+	_ = firstMIdx
+	// Case 4 (Cm0 / Lemma 2): start a new grouping. Opposite parities
+	// trigger rule 5 directly. With uniform parity, flip exactly ONE free
+	// agent via a non-free partner (rules 3/4) when possible — flipping a
+	// pair (rules 1/2) would keep exactly-two free agents locked in the
+	// same parity forever, the Figure 1 loop. Only when the whole
+	// population is free (n >= 3) does the pair flip make progress.
+	if firstIni != -1 && firstBar != -1 {
+		return firstIni, firstBar
+	}
+	if freeA != -1 && freeB != -1 {
+		for lvl := 1; lvl <= p.k; lvl++ {
+			if gByLevel[lvl] != -1 {
+				return gByLevel[lvl], freeA
+			}
+		}
+		if firstD != -1 {
+			return firstD, freeA
+		}
+		return freeA, freeB
+	}
+	// Stable (or only one free agent left): nothing useful to schedule.
+	if freeA != -1 {
+		other := 0
+		if other == freeA {
+			other = 1
+		}
+		return freeA, other
+	}
+	return 0, 1
+}

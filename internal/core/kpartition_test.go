@@ -1,0 +1,329 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/protocol"
+)
+
+func TestNewRejectsBadK(t *testing.T) {
+	for _, k := range []int{-1, 0, 1} {
+		if _, err := New(k); err == nil {
+			t.Errorf("New(%d) succeeded, want error", k)
+		}
+	}
+}
+
+// Theorem 1: the protocol has exactly 3k−2 states.
+func TestStateCount(t *testing.T) {
+	for k := 2; k <= 64; k++ {
+		p := MustNew(k)
+		if got, want := p.NumStates(), 3*k-2; got != want {
+			t.Errorf("k=%d: NumStates=%d, want %d", k, got, want)
+		}
+		if got := p.NumGroups(); got != k {
+			t.Errorf("k=%d: NumGroups=%d", k, got)
+		}
+	}
+}
+
+// The protocol must be symmetric (Section 2.1): δ(q,q) = (q',q').
+func TestSymmetric(t *testing.T) {
+	for k := 2; k <= 16; k++ {
+		p := MustNew(k)
+		if s, ok := protocol.CheckSymmetric(p); !ok {
+			t.Errorf("k=%d: asymmetric rule on state %s", k, p.StateName(s))
+		}
+	}
+}
+
+// Structural validation: δ closed over Q, f into 1..k, deterministic.
+func TestValidate(t *testing.T) {
+	for k := 2; k <= 16; k++ {
+		if err := protocol.Validate(MustNew(k)); err != nil {
+			t.Errorf("k=%d: %v", k, err)
+		}
+	}
+}
+
+// The group mapping of Algorithm 1.
+func TestGroupMapping(t *testing.T) {
+	for k := 2; k <= 12; k++ {
+		p := MustNew(k)
+		if g := p.Group(p.Initial()); g != 1 {
+			t.Errorf("k=%d: f(initial)=%d, want 1", k, g)
+		}
+		if g := p.Group(p.InitialBar()); g != 1 {
+			t.Errorf("k=%d: f(initial')=%d, want 1", k, g)
+		}
+		for i := 1; i <= k; i++ {
+			if g := p.Group(p.G(i)); g != i {
+				t.Errorf("k=%d: f(g%d)=%d", k, i, g)
+			}
+		}
+		for i := 2; i <= k-1; i++ {
+			if g := p.Group(p.M(i)); g != i {
+				t.Errorf("k=%d: f(m%d)=%d", k, i, g)
+			}
+		}
+		for i := 1; i <= k-2; i++ {
+			if g := p.Group(p.D(i)); g != 1 {
+				t.Errorf("k=%d: f(d%d)=%d, want 1", k, i, g)
+			}
+		}
+	}
+}
+
+func TestStateNames(t *testing.T) {
+	p := MustNew(5)
+	cases := map[protocol.State]string{
+		p.Initial():    "initial",
+		p.InitialBar(): "initial'",
+		p.G(1):         "g1",
+		p.G(5):         "g5",
+		p.M(2):         "m2",
+		p.M(4):         "m4",
+		p.D(1):         "d1",
+		p.D(3):         "d3",
+	}
+	for s, want := range cases {
+		if got := p.StateName(s); got != want {
+			t.Errorf("StateName(%d)=%q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	for _, k := range []int{2, 3, 4, 8, 13} {
+		p := MustNew(k)
+		for s := 0; s < p.NumStates(); s++ {
+			kind, idx := p.Decode(protocol.State(s))
+			var back protocol.State
+			switch kind {
+			case KindInitial:
+				back = p.Initial()
+			case KindInitialBar:
+				back = p.InitialBar()
+			case KindG:
+				back = p.G(idx)
+			case KindM:
+				back = p.M(idx)
+			case KindD:
+				back = p.D(idx)
+			}
+			if back != protocol.State(s) {
+				t.Errorf("k=%d: Decode(%d)=(%v,%d) does not round-trip (got %d)", k, s, kind, idx, back)
+			}
+		}
+	}
+}
+
+func TestIsFree(t *testing.T) {
+	p := MustNew(4)
+	if !p.IsFree(p.Initial()) || !p.IsFree(p.InitialBar()) {
+		t.Error("I-states not classified free")
+	}
+	for s := 2; s < p.NumStates(); s++ {
+		if p.IsFree(protocol.State(s)) {
+			t.Errorf("state %s classified free", p.StateName(protocol.State(s)))
+		}
+	}
+}
+
+// Each of the ten rule families of Algorithm 1, checked pointwise.
+func TestAlgorithm1Rules(t *testing.T) {
+	k := 6
+	p := MustNew(k)
+	ini, bar := p.Initial(), p.InitialBar()
+
+	check := func(name string, a, b, wa, wb protocol.State) {
+		t.Helper()
+		out, fired := p.Delta(a, b)
+		if !fired || out.P != wa || out.Q != wb {
+			t.Errorf("%s: delta(%s,%s) = (%s,%s) fired=%v; want (%s,%s)",
+				name, p.StateName(a), p.StateName(b), p.StateName(out.P), p.StateName(out.Q), fired,
+				p.StateName(wa), p.StateName(wb))
+		}
+	}
+
+	check("rule1", ini, ini, bar, bar)
+	check("rule2", bar, bar, ini, ini)
+	for i := 1; i <= k-2; i++ {
+		check("rule3", p.D(i), ini, p.D(i), bar)
+		check("rule3'", p.D(i), bar, p.D(i), ini)
+	}
+	for i := 1; i <= k; i++ {
+		check("rule4", p.G(i), ini, p.G(i), bar)
+		check("rule4'", p.G(i), bar, p.G(i), ini)
+	}
+	check("rule5", ini, bar, p.G(1), p.M(2))
+	for i := 2; i <= k-2; i++ {
+		check("rule6", ini, p.M(i), p.G(i), p.M(i+1))
+		check("rule6'", bar, p.M(i), p.G(i), p.M(i+1))
+	}
+	check("rule7", ini, p.M(k-1), p.G(k-1), p.G(k))
+	check("rule7'", bar, p.M(k-1), p.G(k-1), p.G(k))
+	for i := 2; i <= k-1; i++ {
+		for j := 2; j <= k-1; j++ {
+			check("rule8", p.M(i), p.M(j), p.D(i-1), p.D(j-1))
+		}
+	}
+	for i := 2; i <= k-2; i++ {
+		check("rule9", p.D(i), p.G(i), p.D(i-1), ini)
+	}
+	check("rule10", p.D(1), p.G(1), ini, ini)
+}
+
+// Pairs NOT covered by Algorithm 1 must be null: g-g, g-m, g-d (mismatched
+// level), d-d, m-d.
+func TestNullPairs(t *testing.T) {
+	k := 6
+	p := MustNew(k)
+	null := func(a, b protocol.State) {
+		t.Helper()
+		out, _ := p.Delta(a, b)
+		if out.P != a || out.Q != b {
+			t.Errorf("delta(%s,%s) = (%s,%s); want null",
+				p.StateName(a), p.StateName(b), p.StateName(out.P), p.StateName(out.Q))
+		}
+	}
+	for i := 1; i <= k; i++ {
+		for j := 1; j <= k; j++ {
+			null(p.G(i), p.G(j))
+		}
+	}
+	for i := 1; i <= k; i++ {
+		for j := 2; j <= k-1; j++ {
+			null(p.G(i), p.M(j))
+		}
+	}
+	for i := 1; i <= k-2; i++ {
+		for j := 1; j <= k-2; j++ {
+			null(p.D(i), p.D(j))
+		}
+		for j := 2; j <= k-1; j++ {
+			null(p.D(i), p.M(j))
+		}
+	}
+	// d_i meets g_j with j != i: null (rule 9/10 require matching level).
+	for i := 1; i <= k-2; i++ {
+		for j := 1; j <= k; j++ {
+			if i != j {
+				null(p.D(i), p.G(j))
+			}
+		}
+	}
+}
+
+// Mirror closure: rules written (a,b) must also fire as (b,a) with swapped
+// results, since encounters are unordered.
+func TestMirrorClosure(t *testing.T) {
+	for _, k := range []int{2, 3, 4, 7} {
+		p := MustNew(k)
+		n := p.NumStates()
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				ab, _ := p.Delta(protocol.State(a), protocol.State(b))
+				ba, _ := p.Delta(protocol.State(b), protocol.State(a))
+				if ab.P != ba.Q || ab.Q != ba.P {
+					t.Errorf("k=%d: delta(%d,%d)=(%d,%d) but delta(%d,%d)=(%d,%d): not mirror-closed",
+						k, a, b, ab.P, ab.Q, b, a, ba.P, ba.Q)
+				}
+			}
+		}
+	}
+}
+
+// For k = 2 the protocol must degenerate to the 4-state bipartition
+// protocol: rule 5 produces (g1, g2) directly and there are no m/d states.
+func TestK2Degenerate(t *testing.T) {
+	p := MustNew(2)
+	if p.NumStates() != 4 {
+		t.Fatalf("k=2: NumStates=%d, want 4", p.NumStates())
+	}
+	out, fired := p.Delta(p.Initial(), p.InitialBar())
+	if !fired || out.P != p.G(1) || out.Q != p.G(2) {
+		t.Fatalf("k=2 rule 5: got (%s,%s)", p.StateName(out.P), p.StateName(out.Q))
+	}
+	// g-states are absorbing except for bar-flipping partners.
+	for i := 1; i <= 2; i++ {
+		for s := 0; s < 4; s++ {
+			out, _ := p.Delta(p.G(i), protocol.State(s))
+			if out.P != p.G(i) {
+				t.Errorf("k=2: g%d changed by meeting %s", i, p.StateName(protocol.State(s)))
+			}
+		}
+	}
+}
+
+// Once an agent reaches gk it never changes state again (Section 3.2:
+// "after an agent enters state gk, one set of agents ... never goes back").
+func TestGkAbsorbing(t *testing.T) {
+	for _, k := range []int{2, 3, 4, 8} {
+		p := MustNew(k)
+		gk := p.G(k)
+		for s := 0; s < p.NumStates(); s++ {
+			out, _ := p.Delta(gk, protocol.State(s))
+			if out.P != gk {
+				t.Errorf("k=%d: gk changed by meeting %s", k, p.StateName(protocol.State(s)))
+			}
+			out, _ = p.Delta(protocol.State(s), gk)
+			if out.Q != gk {
+				t.Errorf("k=%d: gk (responder) changed by meeting %s", k, p.StateName(protocol.State(s)))
+			}
+		}
+	}
+}
+
+// The rule table, enumerated, must contain exactly the rule count predicted
+// from Algorithm 1 (ordered pairs covered by non-null rules).
+func TestRuleEnumerationCount(t *testing.T) {
+	for _, k := range []int{3, 4, 5, 6, 8} {
+		p := MustNew(k)
+		rules := protocol.Rules(p)
+		// Ordered non-null rules:
+		// rule1: 1, rule2: 1
+		// rule3: (k-2) d-states × 2 free × 2 orders = 4(k-2)
+		// rule4: k g-states × 2 free × 2 orders = 4k
+		// rule5: 2 orders
+		// rule6: (k-3) m-levels × 2 free × 2 orders = 4(k-3)   (k>=4)
+		// rule7: 2 free × 2 orders = 4
+		// rule8: (k-2)^2 ordered pairs
+		// rule9: (k-3) levels × 2 orders = 2(k-3)              (k>=4)
+		// rule10: 2 orders
+		want := 1 + 1 + 4*(k-2) + 4*k + 2 + 4 + (k-2)*(k-2) + 2
+		if k >= 4 {
+			want += 4*(k-3) + 2*(k-3)
+		}
+		if got := len(rules); got != want {
+			t.Errorf("k=%d: %d ordered non-null rules, want %d\n%s", k, got, want,
+				protocol.FormatRules(p, rules))
+		}
+	}
+}
+
+func TestCodecPanicsOutOfRange(t *testing.T) {
+	p := MustNew(4)
+	for _, fn := range []func(){
+		func() { p.G(0) }, func() { p.G(5) },
+		func() { p.M(1) }, func() { p.M(4) },
+		func() { p.D(0) }, func() { p.D(3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range codec call did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNameIncludesK(t *testing.T) {
+	p := MustNew(7)
+	if want := fmt.Sprintf("uniform-%d-partition", 7); p.Name() != want {
+		t.Errorf("Name=%q, want %q", p.Name(), want)
+	}
+}

@@ -1,0 +1,147 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/population"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// ClassifyPair must agree with the transition table on every ordered pair:
+// a pair classified Null must be a table identity, and a pair classified
+// rule r must produce exactly the output family r prescribes.
+func TestClassifyPairAgreesWithTable(t *testing.T) {
+	for _, k := range []int{2, 3, 4, 7} {
+		p := core.MustNew(k)
+		n := p.NumStates()
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				sa, sb := protocol.State(a), protocol.State(b)
+				kind := p.ClassifyPair(sa, sb)
+				out, _ := p.Delta(sa, sb)
+				isNull := out.P == sa && out.Q == sb
+				if (kind == core.RuleNull) != isNull {
+					t.Fatalf("k=%d: classify(%s,%s)=%v but table null=%v",
+						k, p.StateName(sa), p.StateName(sb), kind, isNull)
+				}
+				// k=2 has no rules 3, 6..10 and rule 5 produces (g1,g2);
+				// just verify the family-specific effect for a few kinds.
+				switch kind {
+				case core.Rule5:
+					if k >= 3 {
+						okOut := (out.P == p.G(1) && out.Q == p.M(2)) || (out.Q == p.G(1) && out.P == p.M(2))
+						if !okOut {
+							t.Fatalf("k=%d: rule5 produced (%s,%s)", k, p.StateName(out.P), p.StateName(out.Q))
+						}
+					}
+				case core.Rule8:
+					ka, _ := p.Decode(out.P)
+					kb, _ := p.Decode(out.Q)
+					if ka != core.KindD || kb != core.KindD {
+						t.Fatalf("k=%d: rule8 produced (%s,%s)", k, p.StateName(out.P), p.StateName(out.Q))
+					}
+				case core.Rule7:
+					if out.P != p.G(k) && out.Q != p.G(k) {
+						t.Fatalf("k=%d: rule7 did not produce gk", k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRuleKindString(t *testing.T) {
+	if core.RuleNull.String() != "null" || core.Rule8.String() != "rule8" {
+		t.Fatalf("%v %v", core.RuleNull, core.Rule8)
+	}
+}
+
+// Tally over a full execution: totals must match the engine's interaction
+// count, the null count must match (interactions − productive), and for a
+// clean run to stability every grouping implies exactly one rule-5 and one
+// rule-7 firing per completed set minus demolition losses.
+func TestTallyAccounting(t *testing.T) {
+	p := core.MustNew(4)
+	n := 24
+	pop := population.New(p, n)
+	tally := core.NewTally(p)
+	hook := sim.StepFunc(func(pop *population.Population, s sim.StepInfo) {
+		tally.Observe(s.Before.P, s.Before.Q)
+	})
+	target, err := p.TargetCounts(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(pop, sched.NewRandom(17), sim.NewCountTarget(p.CanonMap(), target),
+		sim.Options{Hooks: []sim.Hook{hook}})
+	if err != nil || !res.Converged {
+		t.Fatalf("%v %+v", err, res)
+	}
+	if tally.Total() != res.Interactions {
+		t.Fatalf("tally total %d, engine %d", tally.Total(), res.Interactions)
+	}
+	if tally.Counts[core.RuleNull] != res.Interactions-res.Productive {
+		t.Fatalf("null tally %d, engine nulls %d", tally.Counts[core.RuleNull], res.Interactions-res.Productive)
+	}
+	// Conservation: each completed grouping fires rule 7 once and is never
+	// undone; each demolition consumes one past rule-5+chain. Completed
+	// groupings = n/k = 6 = rule7 − (undone chains)... exactly:
+	// rule7 firings = 6 + (number of chains destroyed after reaching...);
+	// chains destroyed fire rule 8 in pairs: every rule-8 kills 2 chains
+	// that DIDN'T reach rule 7. So rule5 = rule7 + 2·rule8 + (pending m
+	// at the end: n mod k == 0 -> 0).
+	r5, r7, r8 := tally.Counts[core.Rule5], tally.Counts[core.Rule7], tally.Counts[core.Rule8]
+	if r5 != r7+2*r8 {
+		t.Fatalf("rule bookkeeping: rule5=%d, rule7=%d, rule8=%d (want r5 = r7 + 2·r8)", r5, r7, r8)
+	}
+	if r7 != uint64(n/4) {
+		t.Fatalf("rule7 fired %d times, want %d", r7, n/4)
+	}
+}
+
+// Demolition overhead grows with k at fixed n — the measured version of
+// the paper's Section 5.2 argument for the exponential time.
+func TestDemolitionFractionGrowsWithK(t *testing.T) {
+	const n = 120
+	frac := func(k int) float64 {
+		p := core.MustNew(k)
+		// Average over a few seeds to smooth the small-sample noise.
+		var sum float64
+		const trials = 5
+		for s := 0; s < trials; s++ {
+			pop := population.New(p, n)
+			tally := core.NewTally(p)
+			hook := sim.StepFunc(func(pop *population.Population, st sim.StepInfo) {
+				tally.Observe(st.Before.P, st.Before.Q)
+			})
+			target, err := p.TargetCounts(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Run(pop, sched.NewRandom(rng.StreamSeed(3, uint64(k), uint64(s))),
+				sim.NewCountTarget(p.CanonMap(), target), sim.Options{Hooks: []sim.Hook{hook}})
+			if err != nil || !res.Converged {
+				t.Fatalf("%v %+v", err, res)
+			}
+			sum += tally.DemolitionFraction()
+		}
+		return sum / trials
+	}
+	f3, f6, f10 := frac(3), frac(6), frac(10)
+	// The trend is noisy between adjacent k at this n (5 trials), so
+	// assert the robust version: k=3 is clearly below both larger k.
+	if !(2*f3 < f6 && 2*f3 < f10) {
+		t.Fatalf("demolition fraction not growing: k=3:%.4f k=6:%.4f k=10:%.4f", f3, f6, f10)
+	}
+}
+
+func TestDemolitionFractionEmpty(t *testing.T) {
+	tally := core.NewTally(core.MustNew(3))
+	if tally.DemolitionFraction() != 0 {
+		t.Fatal("empty tally nonzero")
+	}
+}

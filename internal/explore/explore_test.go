@@ -1,0 +1,222 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/protocol"
+)
+
+func TestBuildRejectsTinyN(t *testing.T) {
+	if _, err := Build(core.MustNew(3), 1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+}
+
+func TestBuildInitialNode(t *testing.T) {
+	p := core.MustNew(3)
+	g, err := Build(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Nodes[0].Counts[p.Initial()] != 5 {
+		t.Fatalf("node 0 = %v", g.Nodes[0])
+	}
+	if g.Nodes[0].N() != 5 {
+		t.Fatalf("N() = %d", g.Nodes[0].N())
+	}
+}
+
+// Every node must preserve the population size and the Lemma 1 invariant —
+// the graph enumerates exactly the reachable set the paper's proof reasons
+// about.
+func TestGraphNodesSatisfyLemma1(t *testing.T) {
+	for _, cse := range []struct{ n, k int }{{5, 3}, {6, 3}, {7, 4}, {6, 5}} {
+		p := core.MustNew(cse.k)
+		g, err := Build(p, cse.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, node := range g.Nodes {
+			if node.N() != cse.n {
+				t.Fatalf("n=%d k=%d node %d: population %d", cse.n, cse.k, i, node.N())
+			}
+			if err := p.CheckInvariant(node.Counts); err != nil {
+				t.Fatalf("n=%d k=%d node %d (%s): %v", cse.n, cse.k, i, node.Format(p), err)
+			}
+		}
+	}
+}
+
+// THEOREM 1, verified exhaustively: for a grid of (n, k), from every
+// reachable configuration a stable configuration is reachable, and every
+// stable configuration is a uniform partition. This is the fairness-free
+// finite equivalent of the paper's main result.
+func TestTheorem1Exhaustive(t *testing.T) {
+	grid := []struct{ n, k int }{
+		{3, 2}, {4, 2}, {5, 2}, {6, 2}, {7, 2}, {8, 2}, {9, 2}, {10, 2},
+		{3, 3}, {4, 3}, {5, 3}, {6, 3}, {7, 3}, {8, 3}, {9, 3}, {10, 3},
+		{4, 4}, {5, 4}, {6, 4}, {7, 4}, {8, 4}, {9, 4},
+		{5, 5}, {6, 5}, {7, 5},
+		{3, 4}, {3, 5}, {4, 6}, // n < k
+	}
+	for _, cse := range grid {
+		rep, err := Check(core.MustNew(cse.k), cse.n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.LiveFromAll {
+			t.Errorf("n=%d k=%d: configuration %v cannot reach a stable one",
+				cse.n, cse.k, rep.FirstNonLive)
+		}
+		if !rep.Uniform {
+			t.Errorf("n=%d k=%d: non-uniform stable configuration %v",
+				cse.n, cse.k, rep.FirstNonUniform)
+		}
+		if rep.Stable == 0 {
+			t.Errorf("n=%d k=%d: no stable configuration", cse.n, cse.k)
+		}
+	}
+}
+
+// The stable set must contain exactly the configurations matching the
+// core package's closed-form signature — cross-validating IsStable (used
+// by the O(1) runtime detector) against the semantic definition (used by
+// the model checker). For n mod k == 1 the stable class has two members
+// (leftover agent in initial or initial'); both canonicalize identically.
+func TestStableSetMatchesSignature(t *testing.T) {
+	for _, cse := range []struct{ n, k int }{{6, 3}, {7, 3}, {8, 3}, {8, 4}, {9, 4}, {10, 4}} {
+		p := core.MustNew(cse.k)
+		g, err := Build(p, cse.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stable := g.StableNodes()
+		for i, s := range stable {
+			if got := p.IsStable(g.Nodes[i].Counts); got != s {
+				t.Fatalf("n=%d k=%d node %s: checker says stable=%v, signature says %v",
+					cse.n, cse.k, g.Nodes[i].Format(p), s, got)
+			}
+		}
+	}
+}
+
+// n = 2 with a symmetric protocol can never break symmetry (Section 2.1):
+// the two agents oscillate initial <-> initial' forever, a frozen loop in
+// which both stay in group 1. The checker must therefore find that no
+// reachable stable configuration is uniform — the impossibility the paper
+// uses to justify assuming n >= 3.
+func TestNEquals2CannotPartition(t *testing.T) {
+	p := core.MustNew(2)
+	rep, err := Check(p, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Uniform {
+		t.Fatal("n=2: checker claims a uniform stable partition exists")
+	}
+	// The oscillation itself IS membership-stable (both agents map to
+	// group 1 throughout), so the stable set is the whole 2-cycle.
+	if rep.Stable != 2 {
+		t.Fatalf("n=2: stable set has %d members, want the 2-cycle", rep.Stable)
+	}
+}
+
+// The checker must notice protocols that are NOT live. A deliberately
+// broken variant: remove rule 8 (m-m demotion), so two m-heads can
+// deadlock short of completing a grouping.
+func TestCheckDetectsBrokenProtocol(t *testing.T) {
+	k := 3
+	b := protocol.NewBuilder("broken", true)
+	ini := b.AddState("initial", 1)
+	bar := b.AddState("initial'", 1)
+	g1 := b.AddState("g1", 1)
+	g2 := b.AddState("g2", 2)
+	g3 := b.AddState("g3", 3)
+	m2 := b.AddState("m2", 2)
+	b.SetInitial(ini)
+	b.AddRule(ini, ini, bar, bar)
+	b.AddRule(bar, bar, ini, ini)
+	for _, g := range []protocol.State{g1, g2, g3} {
+		b.AddRule(g, ini, g, bar)
+		b.AddRule(g, bar, g, ini)
+	}
+	b.AddRule(ini, bar, g1, m2)
+	b.AddRule(ini, m2, g2, g3)
+	b.AddRule(bar, m2, g2, g3)
+	// rule 8 omitted: (m2, m2) is null, so two m2 agents with no free
+	// agents left is a dead non-uniform configuration.
+	broken := b.MustBuild()
+	_ = k
+	rep, err := Check(broken, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With n=4: (m2, m2, g1, g1) is reachable, frozen (m2-m2 null,
+	// g-agents only flip nobody), and NOT uniform (group sizes 4,0,0...
+	// wait: f(m2)=2, so sizes are g1:2, m2:2 -> 2,2,0). Spread 2 > 1.
+	if rep.LiveFromAll && rep.Uniform {
+		t.Fatal("checker passed a protocol missing rule 8")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	p := core.MustNew(3)
+	g, err := Build(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, ok := g.Lookup(g.Nodes[0]); !ok || id != 0 {
+		t.Fatalf("Lookup(start) = %d, %v", id, ok)
+	}
+	absent := Config{Counts: make([]int, p.NumStates())}
+	absent.Counts[p.G(1)] = 4 // violates Lemma 1; unreachable
+	if _, ok := g.Lookup(absent); ok {
+		t.Fatal("unreachable configuration found in graph")
+	}
+}
+
+func TestConfigFormat(t *testing.T) {
+	p := core.MustNew(3)
+	c := Config{Counts: make([]int, p.NumStates())}
+	c.Counts[p.G(1)] = 2
+	c.Counts[p.M(2)] = 1
+	s := c.Format(p)
+	if !strings.Contains(s, "g1:2") || !strings.Contains(s, "m2:1") {
+		t.Errorf("Format = %q", s)
+	}
+}
+
+// Growth sanity: the reachable set is much smaller than the full multiset
+// space thanks to Lemma 1; record a couple of counts to catch regressions
+// in the exploration (e.g. spurious transitions inflating the graph).
+func TestReachableSetSizes(t *testing.T) {
+	p := core.MustNew(3)
+	g6, err := Build(p, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g8, err := Build(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g6.Nodes) >= len(g8.Nodes) {
+		t.Fatalf("reachable set not growing with n: %d vs %d", len(g6.Nodes), len(g8.Nodes))
+	}
+	// Full multiset space for n=8 over 7 states is C(14,6) = 3003; the
+	// reachable set must be a strict subset.
+	if len(g8.Nodes) >= 3003 {
+		t.Fatalf("reachable set %d >= full space 3003", len(g8.Nodes))
+	}
+}
+
+func BenchmarkBuildGraph(b *testing.B) {
+	p := core.MustNew(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(p, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

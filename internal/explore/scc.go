@@ -1,0 +1,145 @@
+package explore
+
+// Strongly-connected-component analysis of the configuration graph.
+//
+// Under global fairness an execution eventually enters a TERMINAL SCC (a
+// component with no edges leaving it) and then visits all of it forever.
+// The protocol is therefore correct iff every terminal SCC is "good":
+// all its configurations share one group assignment (membership frozen
+// across the component) and that assignment is uniform. This gives a
+// second, independently-derived mechanization of Theorem 1 that the tests
+// check against the frozen-closure analysis of StableNodes: the stable
+// set must be exactly the union of the good terminal SCCs.
+
+// SCC holds the condensation of the graph.
+type SCC struct {
+	// Comp[v] is the component id of node v; ids are in REVERSE
+	// topological order of the condensation (component 0 has no incoming
+	// edges from other components... by Tarjan's numbering, lower ids are
+	// later in topological order).
+	Comp []int
+	// Members[c] lists the nodes of component c.
+	Members [][]int
+	// Terminal[c] reports that no edge leaves component c.
+	Terminal []bool
+}
+
+// SCCs computes the strongly connected components by Tarjan's algorithm
+// (iterative, to survive deep graphs).
+func (g *Graph) SCCs() *SCC {
+	n := len(g.Nodes)
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int
+	var components [][]int
+	next := 0
+
+	type frame struct {
+		v, edge int
+	}
+	var call []frame
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		call = append(call[:0], frame{v: root})
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			v := f.v
+			if f.edge == 0 {
+				index[v] = next
+				low[v] = next
+				next++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for f.edge < len(g.Succ[v]) {
+				w := g.Succ[v][f.edge]
+				f.edge++
+				if index[w] == unvisited {
+					call = append(call, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// Post-order: pop component if root, propagate lowlink.
+			if low[v] == index[v] {
+				var members []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = len(components)
+					members = append(members, w)
+					if w == v {
+						break
+					}
+				}
+				components = append(components, members)
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				parent := call[len(call)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+		}
+	}
+
+	terminal := make([]bool, len(components))
+	for i := range terminal {
+		terminal[i] = true
+	}
+	for v := 0; v < n; v++ {
+		for _, w := range g.Succ[v] {
+			if comp[v] != comp[w] {
+				terminal[comp[v]] = false
+			}
+		}
+	}
+	return &SCC{Comp: comp, Members: components, Terminal: terminal}
+}
+
+// GoodTerminal reports, for each component, whether it is terminal AND
+// membership-coherent: every configuration in it induces the same
+// group-size vector (anonymous agents make group sizes the observable),
+// i.e. reaching the component fixes the partition forever.
+func (g *Graph) GoodTerminal(s *SCC) []bool {
+	out := make([]bool, len(s.Members))
+	for c, members := range s.Members {
+		if !s.Terminal[c] {
+			continue
+		}
+		ref := g.Nodes[members[0]].GroupSizes(g.Proto)
+		ok := true
+		for _, v := range members[1:] {
+			sizes := g.Nodes[v].GroupSizes(g.Proto)
+			for i := range sizes {
+				if sizes[i] != ref[i] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		out[c] = ok
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package explore
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/protocols/bipartition"
+)
+
+func TestSCCPartitionsNodes(t *testing.T) {
+	g, err := Build(core.MustNew(3), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.SCCs()
+	seen := make([]bool, len(g.Nodes))
+	for c, members := range s.Members {
+		for _, v := range members {
+			if seen[v] {
+				t.Fatalf("node %d in two components", v)
+			}
+			seen[v] = true
+			if s.Comp[v] != c {
+				t.Fatalf("Comp[%d] = %d, want %d", v, s.Comp[v], c)
+			}
+		}
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("node %d in no component", v)
+		}
+	}
+}
+
+// Mutual reachability within components, spot-checked: every member of a
+// component must reach every other member (verified via ShortestPath with
+// a singleton target on small graphs).
+func TestSCCMutualReachability(t *testing.T) {
+	g, err := Build(core.MustNew(2), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.SCCs()
+	for _, members := range s.Members {
+		if len(members) < 2 {
+			continue
+		}
+		for _, u := range members {
+			for _, v := range members {
+				if u == v {
+					continue
+				}
+				target := make([]bool, len(g.Nodes))
+				target[v] = true
+				if _, ok := g.ShortestPath(u, target); !ok {
+					t.Fatalf("nodes %d and %d share a component but %d cannot reach %d", u, v, u, v)
+				}
+			}
+		}
+	}
+}
+
+// The SCC view of Theorem 1 must agree exactly with the frozen-closure
+// view: the stable node set equals the union of good terminal components.
+func TestSCCAgreesWithStableNodes(t *testing.T) {
+	for _, cse := range []struct{ n, k int }{
+		{5, 2}, {8, 2}, {6, 3}, {7, 3}, {8, 3}, {8, 4}, {9, 4},
+	} {
+		g, err := Build(core.MustNew(cse.k), cse.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stable := g.StableNodes()
+		s := g.SCCs()
+		good := g.GoodTerminal(s)
+		for v := range g.Nodes {
+			inGood := good[s.Comp[v]]
+			if inGood != stable[v] {
+				t.Fatalf("n=%d k=%d node %s: SCC says good-terminal=%v, frozen-closure says stable=%v",
+					cse.n, cse.k, g.Nodes[v].Format(g.Proto), inGood, stable[v])
+			}
+		}
+	}
+}
+
+// Terminal components of the bipartition protocol: for odd n the stable
+// class is a 2-cycle (leftover agent flipping parity) — a terminal SCC
+// with exactly 2 members; for even n it is a single dead node.
+func TestTerminalComponentShapes(t *testing.T) {
+	p := bipartition.New()
+
+	gOdd, err := Build(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := gOdd.SCCs()
+	good := gOdd.GoodTerminal(s)
+	for c, ok := range good {
+		if ok && len(s.Members[c]) != 2 {
+			t.Fatalf("n=5: good terminal SCC has %d members, want 2 (parity cycle)", len(s.Members[c]))
+		}
+	}
+
+	gEven, err := Build(p, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = gEven.SCCs()
+	good = gEven.GoodTerminal(s)
+	found := false
+	for c, ok := range good {
+		if ok {
+			found = true
+			if len(s.Members[c]) != 1 {
+				t.Fatalf("n=6: good terminal SCC has %d members, want 1 (dead node)", len(s.Members[c]))
+			}
+		}
+	}
+	if !found {
+		t.Fatal("n=6: no good terminal component")
+	}
+}

@@ -1,0 +1,123 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestShortestPathToStable(t *testing.T) {
+	p := core.MustNew(3)
+	g, err := Build(p, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stable := g.StableNodes()
+	path, ok := g.ShortestPath(0, stable)
+	if !ok {
+		t.Fatal("no path from initial to stable")
+	}
+	if path[0] != 0 || !stable[path[len(path)-1]] {
+		t.Fatalf("path endpoints wrong: %v", path)
+	}
+	// Every hop must be an actual edge.
+	for i := 0; i+1 < len(path); i++ {
+		found := false
+		for _, w := range g.Succ[path[i]] {
+			if w == path[i+1] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("path uses non-edge %d -> %d", path[i], path[i+1])
+		}
+	}
+	// n=6, k=3: the fastest run is flip + rule5 + two feeds + second
+	// grouping = at least 2·(n/k) productive transitions... just bound it
+	// loosely: strictly more than 1 hop, at most eccentricity.
+	if len(path) < 3 || len(path)-1 > g.Eccentricity() {
+		t.Fatalf("suspicious path length %d (ecc %d)", len(path), g.Eccentricity())
+	}
+}
+
+func TestShortestPathAlreadyInTarget(t *testing.T) {
+	p := core.MustNew(2)
+	g, err := Build(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := make([]bool, len(g.Nodes))
+	target[0] = true
+	path, ok := g.ShortestPath(0, target)
+	if !ok || len(path) != 1 || path[0] != 0 {
+		t.Fatalf("path %v ok %v", path, ok)
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	p := core.MustNew(3)
+	g, err := Build(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.ShortestPath(0, make([]bool, len(g.Nodes))); ok {
+		t.Fatal("empty target reached")
+	}
+	if _, ok := g.ShortestPath(-1, make([]bool, len(g.Nodes))); ok {
+		t.Fatal("invalid start accepted")
+	}
+}
+
+func TestWitnessToStableReadable(t *testing.T) {
+	p := core.MustNew(3)
+	g, err := Build(p, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, ok := g.WitnessToStable()
+	if !ok {
+		t.Fatal("no witness")
+	}
+	if !strings.Contains(steps[0], "initial:6") {
+		t.Fatalf("witness starts at %q", steps[0])
+	}
+	last := steps[len(steps)-1]
+	if !strings.Contains(last, "g3:2") {
+		t.Fatalf("witness ends at %q", last)
+	}
+}
+
+func TestEccentricityPositive(t *testing.T) {
+	p := core.MustNew(3)
+	g, err := Build(p, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ecc := g.Eccentricity(); ecc <= 0 {
+		t.Fatalf("eccentricity %d", ecc)
+	}
+}
+
+func TestWriteDotConfigurations(t *testing.T) {
+	p := core.MustNew(2)
+	g, err := Build(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := g.WriteDot(&sb, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "digraph") || !strings.Contains(out, "->") {
+		t.Fatalf("dot output %q", out)
+	}
+	if !strings.Contains(out, "peripheries=2") {
+		t.Fatal("no stable node rendered")
+	}
+	// Limit honored.
+	if err := g.WriteDot(&sb, 2); err == nil {
+		t.Fatal("node limit not enforced")
+	}
+}

@@ -1,0 +1,182 @@
+// Package fairness quantifies how fair a finite execution prefix is.
+//
+// Global fairness is a property of infinite executions and cannot be
+// observed directly; what CAN be measured on a prefix is how evenly the
+// scheduler exercised the interaction space — the practical proxy the
+// paper leans on when it equates the uniform-random scheduler with global
+// fairness "with probability 1". This package computes, from a recorded
+// trace or live hook:
+//
+//   - per-pair encounter counts and their dispersion (coefficient of
+//     variation, Gini coefficient): a uniform scheduler drives both to 0
+//     as the prefix grows, while the hostile scheduler of internal/sched
+//     keeps entire pair classes starved forever;
+//   - starvation: pairs never scheduled, and the longest gap between
+//     encounters of the most-starved pair;
+//   - per-agent participation balance.
+//
+// The tests use these metrics to separate the three schedulers cleanly.
+package fairness
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/population"
+	"repro/internal/sim"
+)
+
+// Meter accumulates pair-encounter statistics; it implements sim.Hook so
+// it can ride along any run.
+type Meter struct {
+	n int
+	// counts[pairIndex(i,j)] for i < j.
+	counts []uint64
+	// lastSeen[pairIndex] is the interaction number of the pair's last
+	// encounter; used for gap analysis.
+	lastSeen []uint64
+	// maxGap[pairIndex] is the longest observed gap.
+	maxGap []uint64
+	agent  []uint64
+	steps  uint64
+}
+
+// NewMeter creates a meter for a population of n agents.
+func NewMeter(n int) *Meter {
+	pairs := n * (n - 1) / 2
+	return &Meter{
+		n:        n,
+		counts:   make([]uint64, pairs),
+		lastSeen: make([]uint64, pairs),
+		maxGap:   make([]uint64, pairs),
+		agent:    make([]uint64, n),
+	}
+}
+
+func (m *Meter) pairIndex(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	// Index of (i, j), i < j, in row-major upper-triangular order.
+	return i*(2*m.n-i-1)/2 + (j - i - 1)
+}
+
+// Init implements sim.Hook.
+func (m *Meter) Init(pop *population.Population) {}
+
+// OnStep implements sim.Hook.
+func (m *Meter) OnStep(pop *population.Population, s sim.StepInfo) {
+	m.Record(s.I, s.J)
+}
+
+// Record notes one encounter between agents i and j.
+func (m *Meter) Record(i, j int) {
+	m.steps++
+	idx := m.pairIndex(i, j)
+	if gap := m.steps - m.lastSeen[idx]; gap > m.maxGap[idx] {
+		m.maxGap[idx] = gap
+	}
+	m.lastSeen[idx] = m.steps
+	m.counts[idx]++
+	m.agent[i]++
+	m.agent[j]++
+}
+
+// Steps returns the number of recorded encounters.
+func (m *Meter) Steps() uint64 { return m.steps }
+
+// Report summarizes the prefix.
+type Report struct {
+	Steps        uint64
+	Pairs        int
+	StarvedPairs int     // pairs never scheduled
+	MinCount     uint64  // least-scheduled pair
+	MaxCount     uint64  // most-scheduled pair
+	CV           float64 // coefficient of variation of pair counts
+	Gini         float64 // Gini coefficient of pair counts
+	MaxGap       uint64  // longest inter-encounter gap over all pairs
+	AgentCV      float64 // coefficient of variation of per-agent counts
+}
+
+// Report computes the summary.
+func (m *Meter) Report() Report {
+	r := Report{Steps: m.steps, Pairs: len(m.counts)}
+	if len(m.counts) == 0 {
+		return r
+	}
+	r.MinCount = m.counts[0]
+	var sum float64
+	for _, c := range m.counts {
+		if c == 0 {
+			r.StarvedPairs++
+		}
+		if c < r.MinCount {
+			r.MinCount = c
+		}
+		if c > r.MaxCount {
+			r.MaxCount = c
+		}
+		sum += float64(c)
+	}
+	mean := sum / float64(len(m.counts))
+	if mean > 0 {
+		var ss float64
+		for _, c := range m.counts {
+			d := float64(c) - mean
+			ss += d * d
+		}
+		r.CV = math.Sqrt(ss/float64(len(m.counts))) / mean
+		r.Gini = gini(m.counts)
+	}
+	// Gap: include the tail gap (pairs not seen since lastSeen).
+	for idx := range m.counts {
+		g := m.maxGap[idx]
+		if tail := m.steps - m.lastSeen[idx]; tail > g {
+			g = tail
+		}
+		if g > r.MaxGap {
+			r.MaxGap = g
+		}
+	}
+	var asum float64
+	for _, c := range m.agent {
+		asum += float64(c)
+	}
+	amean := asum / float64(len(m.agent))
+	if amean > 0 {
+		var ss float64
+		for _, c := range m.agent {
+			d := float64(c) - amean
+			ss += d * d
+		}
+		r.AgentCV = math.Sqrt(ss/float64(len(m.agent))) / amean
+	}
+	return r
+}
+
+// gini computes the Gini coefficient of a count vector: 0 = perfectly
+// even, approaching 1 = one pair hoards all encounters.
+func gini(counts []uint64) float64 {
+	n := len(counts)
+	sorted := make([]float64, n)
+	var total float64
+	for i, c := range counts {
+		sorted[i] = float64(c)
+		total += float64(c)
+	}
+	if total == 0 {
+		return 0
+	}
+	sort.Float64s(sorted)
+	var cum, weighted float64
+	for i, v := range sorted {
+		cum += v
+		weighted += cum
+		_ = i
+	}
+	// Gini = 1 + 1/n − 2·Σ cumulative / (n·total)
+	return 1 + 1/float64(n) - 2*weighted/(float64(n)*total)
+}
+
+// PairCount returns how often agents i and j met.
+func (m *Meter) PairCount(i, j int) uint64 { return m.counts[m.pairIndex(i, j)] }

@@ -1,0 +1,143 @@
+package fairness
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/population"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func TestPairIndexBijective(t *testing.T) {
+	m := NewMeter(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 7; i++ {
+		for j := i + 1; j < 7; j++ {
+			idx := m.pairIndex(i, j)
+			if idx < 0 || idx >= 21 {
+				t.Fatalf("pairIndex(%d,%d) = %d out of range", i, j, idx)
+			}
+			if seen[idx] {
+				t.Fatalf("pairIndex collision at (%d,%d)", i, j)
+			}
+			seen[idx] = true
+			if m.pairIndex(j, i) != idx {
+				t.Fatalf("pairIndex not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	if len(seen) != 21 {
+		t.Fatalf("covered %d indices, want 21", len(seen))
+	}
+}
+
+func TestRecordAndPairCount(t *testing.T) {
+	m := NewMeter(4)
+	m.Record(0, 1)
+	m.Record(1, 0)
+	m.Record(2, 3)
+	if m.PairCount(0, 1) != 2 || m.PairCount(1, 0) != 2 {
+		t.Fatalf("pair (0,1) count %d", m.PairCount(0, 1))
+	}
+	if m.PairCount(2, 3) != 1 || m.PairCount(0, 2) != 0 {
+		t.Fatal("counts wrong")
+	}
+	if m.Steps() != 3 {
+		t.Fatalf("steps %d", m.Steps())
+	}
+}
+
+func TestReportUniformTendsToFair(t *testing.T) {
+	const n = 10
+	m := NewMeter(n)
+	p := core.MustNew(3)
+	pop := population.New(p, n)
+	if _, err := sim.Run(pop, sched.NewRandom(1), sim.After{N: 200000},
+		sim.Options{Hooks: []sim.Hook{m}}); err != nil {
+		t.Fatal(err)
+	}
+	r := m.Report()
+	if r.StarvedPairs != 0 {
+		t.Fatalf("random scheduler starved %d pairs", r.StarvedPairs)
+	}
+	if r.CV > 0.05 {
+		t.Fatalf("pair-count CV %.4f too high for 200k uniform steps", r.CV)
+	}
+	if r.Gini > 0.03 {
+		t.Fatalf("Gini %.4f too high", r.Gini)
+	}
+	if r.AgentCV > 0.05 {
+		t.Fatalf("agent CV %.4f too high", r.AgentCV)
+	}
+}
+
+// The sweep scheduler is perfectly even by construction.
+func TestReportSweepPerfectlyEven(t *testing.T) {
+	const n = 6
+	m := NewMeter(n)
+	p := core.MustNew(2)
+	pop := population.New(p, n)
+	cycles := 100
+	if _, err := sim.Run(pop, sched.NewSweep(), sim.After{N: uint64(n * (n - 1) * cycles)},
+		sim.Options{Hooks: []sim.Hook{m}}); err != nil {
+		t.Fatal(err)
+	}
+	r := m.Report()
+	// Each unordered pair appears exactly twice per cycle (both orders).
+	if r.MinCount != r.MaxCount || r.MinCount != uint64(2*cycles) {
+		t.Fatalf("sweep counts uneven: min %d max %d", r.MinCount, r.MaxCount)
+	}
+	if r.CV != 0 || r.Gini != 0 {
+		t.Fatalf("sweep CV %.4f Gini %.4f, want 0", r.CV, r.Gini)
+	}
+}
+
+// The hostile scheduler must show up as grossly unfair: from the
+// all-initial configuration it pairs the same-parity free agents forever,
+// leaving agent-level balance but starving specific pair classes over any
+// window once the population polarizes. We assert a much weaker but
+// robust signal: its Gini stays far above the random scheduler's.
+func TestReportHostileUnfair(t *testing.T) {
+	const n = 8
+	p := core.MustNew(4)
+
+	run := func(s sched.Scheduler) Report {
+		m := NewMeter(n)
+		pop := population.New(p, n)
+		if _, err := sim.Run(pop, s, sim.After{N: 50000},
+			sim.Options{Hooks: []sim.Hook{m}}); err != nil {
+			t.Fatal(err)
+		}
+		return m.Report()
+	}
+	hostile := run(sched.NewHostile(3, p.IsFree))
+	random := run(sched.NewRandom(3))
+	if hostile.Gini < 4*random.Gini {
+		t.Fatalf("hostile Gini %.4f not clearly above random %.4f", hostile.Gini, random.Gini)
+	}
+	if hostile.MaxGap < 10*random.MaxGap {
+		t.Fatalf("hostile max gap %d vs random %d", hostile.MaxGap, random.MaxGap)
+	}
+}
+
+func TestGiniExtremes(t *testing.T) {
+	if g := gini([]uint64{5, 5, 5, 5}); g > 1e-12 {
+		t.Fatalf("even Gini %v", g)
+	}
+	g := gini([]uint64{0, 0, 0, 100})
+	if g < 0.7 {
+		t.Fatalf("concentrated Gini %v", g)
+	}
+	if gini([]uint64{0, 0}) != 0 {
+		t.Fatal("all-zero Gini nonzero")
+	}
+}
+
+func TestReportEmptyMeter(t *testing.T) {
+	m := NewMeter(2)
+	r := m.Report()
+	if r.Steps != 0 || r.CV != 0 || r.StarvedPairs != 1 {
+		t.Fatalf("%+v", r)
+	}
+}

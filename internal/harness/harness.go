@@ -1,0 +1,361 @@
+// Package harness runs the paper's experiments: it fans simulation trials
+// out over a worker pool, aggregates them into per-point statistics, and
+// hands the experiment binaries ready-to-render series for every figure of
+// Section 5 (and for the ablations DESIGN.md adds).
+//
+// Seeding discipline: every trial's generator is derived as
+// StreamSeed(rootSeed, pointIndex, trialIndex), so any single cell of any
+// figure can be reproduced in isolation, and results are independent of
+// worker count and scheduling order.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/countsim"
+	"repro/internal/population"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Engine selects the simulation backend for a trial.
+type Engine uint8
+
+// The available engines.
+const (
+	// EngineAgent is the agent-level engine (internal/sim): every
+	// scheduled encounter is walked explicitly. The default.
+	EngineAgent Engine = iota
+	// EngineCount is the count-based engine (internal/countsim): null
+	// runs are skipped geometrically. Identical output distribution,
+	// much faster on null-dominated workloads (large n, large k).
+	EngineCount
+)
+
+// TrialSpec describes one simulation trial of the k-partition protocol.
+type TrialSpec struct {
+	N, K int
+	Seed uint64
+	// MaxInteractions caps the run (0 = engine default).
+	MaxInteractions uint64
+	// Grouping requests per-grouping interaction marks (Figure 4).
+	Grouping bool
+	// Engine selects the backend (default EngineAgent).
+	Engine Engine
+}
+
+// TrialResult is the outcome of one trial.
+type TrialResult struct {
+	Spec         TrialSpec
+	Interactions uint64
+	Productive   uint64
+	Converged    bool
+	Spread       int
+	// Marks holds NI_i (total interactions at the i-th grouping) when
+	// Spec.Grouping was set.
+	Marks []uint64
+}
+
+// protoCache shares immutable protocol tables across trials; building a
+// table is O(k²) but there is no reason to do it 100 times per point.
+type protoCache struct {
+	mu sync.Mutex
+	m  map[int]*core.Protocol
+}
+
+var cache = protoCache{m: make(map[int]*core.Protocol)}
+
+// Proto returns the shared uniform k-partition protocol instance for k.
+func Proto(k int) *core.Protocol {
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	if p, ok := cache.m[k]; ok {
+		return p
+	}
+	p := core.MustNew(k)
+	cache.m[k] = p
+	return p
+}
+
+// RunTrial executes one trial to stability (or the interaction cap).
+func RunTrial(spec TrialSpec) (TrialResult, error) {
+	p := Proto(spec.K)
+	target, err := p.TargetCounts(spec.N)
+	if err != nil {
+		return TrialResult{}, fmt.Errorf("harness: n=%d k=%d: %w", spec.N, spec.K, err)
+	}
+	if spec.Engine == EngineCount {
+		return runCountTrial(p, spec)
+	}
+	pop := population.New(p, spec.N)
+	opts := sim.Options{MaxInteractions: spec.MaxInteractions}
+	var gc *sim.GroupingCounter
+	if spec.Grouping {
+		gc = &sim.GroupingCounter{Watch: p.G(spec.K)}
+		opts.Hooks = []sim.Hook{gc}
+	}
+	res, err := sim.Run(pop, sched.NewRandom(spec.Seed), sim.NewCountTarget(p.CanonMap(), target), opts)
+	if err != nil {
+		return TrialResult{}, err
+	}
+	out := TrialResult{
+		Spec:         spec,
+		Interactions: res.Interactions,
+		Productive:   res.Productive,
+		Converged:    res.Converged,
+		Spread:       res.Spread(),
+	}
+	if gc != nil {
+		out.Marks = append([]uint64(nil), gc.Marks...)
+	}
+	return out, nil
+}
+
+// runCountTrial runs a trial on the count-based engine. Grouping marks are
+// reconstructed from the gk count observed inside the stop predicate.
+func runCountTrial(p *core.Protocol, spec TrialSpec) (TrialResult, error) {
+	s, err := countsim.New(p, spec.N, spec.Seed)
+	if err != nil {
+		return TrialResult{}, err
+	}
+	maxI := spec.MaxInteractions
+	if maxI == 0 {
+		maxI = sim.DefaultMaxInteractions
+	}
+	gk := p.G(spec.K)
+	var marks []uint64
+	best := 0
+	// Precompute the stable signature once; calling p.IsStable per
+	// productive step would rebuild the target and canon slices each time
+	// (it dominated the count-engine profile before this change).
+	canon := p.CanonMap()
+	target, err := p.TargetCounts(spec.N)
+	if err != nil {
+		return TrialResult{}, err
+	}
+	scratch := make([]int, len(target))
+	pred := func(counts []int) bool {
+		if spec.Grouping {
+			if c := counts[gk]; c > best {
+				for i := best; i < c; i++ {
+					marks = append(marks, s.Interactions())
+				}
+				best = c
+			}
+		}
+		for i := range scratch {
+			scratch[i] = 0
+		}
+		for st, c := range counts {
+			scratch[canon[st]] += c
+		}
+		for i := range scratch {
+			if scratch[i] != target[i] {
+				return false
+			}
+		}
+		return true
+	}
+	ok, err := s.RunUntil(pred, maxI)
+	if err != nil {
+		return TrialResult{}, err
+	}
+	res := TrialResult{
+		Spec:         spec,
+		Interactions: s.Interactions(),
+		Productive:   s.Productive(),
+		Converged:    ok,
+		Marks:        marks,
+	}
+	sizes := p.GroupSizesFromCounts(s.CountsView())
+	min, max := sizes[0], sizes[0]
+	for _, v := range sizes {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	res.Spread = max - min
+	return res, nil
+}
+
+// RunMany executes specs over a worker pool and returns results in input
+// order. workers <= 0 selects GOMAXPROCS. The first error aborts the batch
+// (remaining workers drain).
+func RunMany(specs []TrialSpec, workers int) ([]TrialResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	results := make([]TrialResult, len(specs))
+	errs := make([]error, len(specs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i], errs[i] = RunTrial(specs[i])
+			}
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// Point is one aggregated parameter point of an experiment.
+type Point struct {
+	N, K   int
+	Trials int
+	// Mean and CI95 are over interactions-to-stability of the trials.
+	Mean float64
+	CI95 float64
+	Min  uint64
+	Max  uint64
+	// Median and P90 expose the run-length distribution's shape: the
+	// stabilization time is heavy-tailed (a late m-m collision restarts
+	// k chains), so the mean alone overstates the typical run.
+	Median float64
+	P90    float64
+	// MeanDeltas[i] is the mean of NI'_(i+1) (per-grouping interaction
+	// cost) over trials; only filled for grouping experiments. The last
+	// entry is the mean remainder tail when n mod k != 0.
+	MeanDeltas []float64
+	// Unconverged counts trials that hit the interaction cap.
+	Unconverged int
+}
+
+// Aggregate folds a point's trials into a Point.
+func Aggregate(n, k int, trials []TrialResult) Point {
+	pt := Point{N: n, K: k, Trials: len(trials)}
+	if len(trials) == 0 {
+		return pt
+	}
+	xs := make([]float64, 0, len(trials))
+	pt.Min, pt.Max = trials[0].Interactions, trials[0].Interactions
+	for _, tr := range trials {
+		if !tr.Converged {
+			pt.Unconverged++
+			continue
+		}
+		xs = append(xs, float64(tr.Interactions))
+		if tr.Interactions < pt.Min {
+			pt.Min = tr.Interactions
+		}
+		if tr.Interactions > pt.Max {
+			pt.Max = tr.Interactions
+		}
+	}
+	pt.Mean = meanOf(xs)
+	pt.CI95 = ci95Of(xs)
+	if len(xs) > 0 {
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		pt.Median = stats.Quantile(sorted, 0.5)
+		pt.P90 = stats.Quantile(sorted, 0.9)
+	}
+
+	// Per-grouping decomposition: average NI'_i across trials. Trials of
+	// the same (n, k) all have the same number of groupings ⌊n/k⌋ and the
+	// same presence of a remainder tail, so rows align.
+	groupings := 0
+	for _, tr := range trials {
+		if len(tr.Marks) > groupings {
+			groupings = len(tr.Marks)
+		}
+	}
+	if groupings > 0 {
+		withTail := groupings
+		hasTail := n%k != 0
+		if hasTail {
+			withTail++
+		}
+		sums := make([]float64, withTail)
+		counts := make([]int, withTail)
+		for _, tr := range trials {
+			if !tr.Converged || len(tr.Marks) == 0 {
+				continue
+			}
+			deltas := (&sim.GroupingCounter{Marks: tr.Marks}).Deltas(tr.Interactions)
+			for i, d := range deltas {
+				if i < len(sums) {
+					sums[i] += float64(d)
+					counts[i]++
+				}
+			}
+		}
+		pt.MeanDeltas = make([]float64, withTail)
+		for i := range sums {
+			if counts[i] > 0 {
+				pt.MeanDeltas[i] = sums[i] / float64(counts[i])
+			}
+		}
+	}
+	return pt
+}
+
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func ci95Of(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := meanOf(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	sd := ss / float64(len(xs)-1)
+	return 1.96 * math.Sqrt(sd/float64(len(xs)))
+}
+
+// SweepPoint runs `trials` trials at (n, k) and aggregates them. Seeds are
+// derived from (seed, pointID, trial).
+func SweepPoint(n, k, trials int, seed, pointID uint64, grouping bool, workers int, maxInteractions uint64, engine Engine) (Point, error) {
+	specs := make([]TrialSpec, trials)
+	for t := range specs {
+		specs[t] = TrialSpec{
+			N: n, K: k,
+			Seed:            rng.StreamSeed(seed, pointID, uint64(t)),
+			Grouping:        grouping,
+			MaxInteractions: maxInteractions,
+			Engine:          engine,
+		}
+	}
+	results, err := RunMany(specs, workers)
+	if err != nil {
+		return Point{}, err
+	}
+	return Aggregate(n, k, results), nil
+}

@@ -1,0 +1,554 @@
+package harness
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTrialStabilizes(t *testing.T) {
+	res, err := RunTrial(TrialSpec{N: 20, K: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Interactions == 0 {
+		t.Fatalf("%+v", res)
+	}
+	if res.Spread > 1 {
+		t.Fatalf("spread %d", res.Spread)
+	}
+}
+
+func TestRunTrialGroupingMarks(t *testing.T) {
+	res, err := RunTrial(TrialSpec{N: 22, K: 4, Seed: 2, Grouping: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Marks) != 22/4 {
+		t.Fatalf("got %d marks, want 5", len(res.Marks))
+	}
+}
+
+func TestRunTrialRejectsTinyN(t *testing.T) {
+	if _, err := RunTrial(TrialSpec{N: 2, K: 3, Seed: 1}); err == nil {
+		t.Fatal("n=2 accepted")
+	}
+}
+
+func TestRunTrialDeterministic(t *testing.T) {
+	a, err := RunTrial(TrialSpec{N: 30, K: 5, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTrial(TrialSpec{N: 30, K: 5, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Interactions != b.Interactions || a.Productive != b.Productive {
+		t.Fatalf("same seed, different outcomes: %d vs %d", a.Interactions, b.Interactions)
+	}
+}
+
+func TestProtoCacheSharesInstances(t *testing.T) {
+	if Proto(4) != Proto(4) {
+		t.Fatal("cache returned distinct instances")
+	}
+	if Proto(4) == Proto(5) {
+		t.Fatal("cache conflated different k")
+	}
+}
+
+// RunMany must return results in input order regardless of worker count,
+// and match serial execution exactly.
+func TestRunManyOrderAndDeterminism(t *testing.T) {
+	specs := make([]TrialSpec, 12)
+	for i := range specs {
+		specs[i] = TrialSpec{N: 15 + i, K: 3, Seed: uint64(100 + i)}
+	}
+	serial := make([]TrialResult, len(specs))
+	for i, s := range specs {
+		r, err := RunTrial(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = r
+	}
+	for _, workers := range []int{1, 2, 8, 100} {
+		got, err := RunMany(specs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i].Interactions != serial[i].Interactions || got[i].Spec.N != specs[i].N {
+				t.Fatalf("workers=%d: result %d diverged", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunManySurfacesErrors(t *testing.T) {
+	specs := []TrialSpec{{N: 20, K: 3, Seed: 1}, {N: 1, K: 3, Seed: 2}}
+	if _, err := RunMany(specs, 2); err == nil {
+		t.Fatal("invalid spec not surfaced")
+	}
+}
+
+func TestAggregateBasics(t *testing.T) {
+	trials := []TrialResult{
+		{Interactions: 100, Converged: true},
+		{Interactions: 200, Converged: true},
+		{Interactions: 300, Converged: true},
+		{Interactions: 5, Converged: false},
+	}
+	pt := Aggregate(12, 4, trials)
+	if pt.Mean != 200 {
+		t.Fatalf("mean %v", pt.Mean)
+	}
+	if pt.Unconverged != 1 {
+		t.Fatalf("unconverged %d", pt.Unconverged)
+	}
+	if pt.Min != 100 || pt.Max != 300 {
+		t.Fatalf("min/max %d %d", pt.Min, pt.Max)
+	}
+	if pt.CI95 <= 0 {
+		t.Fatal("zero CI for dispersed sample")
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	pt := Aggregate(10, 2, nil)
+	if pt.Mean != 0 || pt.Trials != 0 {
+		t.Fatalf("%+v", pt)
+	}
+}
+
+func TestAggregateDeltasSumToMean(t *testing.T) {
+	// Two converged trials of (n=9, k=3): 3 groupings, no remainder.
+	trials := []TrialResult{
+		{Interactions: 100, Converged: true, Marks: []uint64{10, 40, 100}},
+		{Interactions: 200, Converged: true, Marks: []uint64{20, 80, 200}},
+	}
+	pt := Aggregate(9, 3, trials)
+	if len(pt.MeanDeltas) != 3 {
+		t.Fatalf("deltas %v", pt.MeanDeltas)
+	}
+	sum := 0.0
+	for _, d := range pt.MeanDeltas {
+		sum += d
+	}
+	if sum != pt.Mean {
+		t.Fatalf("deltas sum %v != mean %v", sum, pt.Mean)
+	}
+	// With a remainder (n=11, k=3): tail column appears.
+	trials = []TrialResult{
+		{Interactions: 150, Converged: true, Marks: []uint64{10, 40, 100}},
+	}
+	pt = Aggregate(11, 3, trials)
+	if len(pt.MeanDeltas) != 4 {
+		t.Fatalf("tail column missing: %v", pt.MeanDeltas)
+	}
+	if pt.MeanDeltas[3] != 50 {
+		t.Fatalf("tail %v", pt.MeanDeltas[3])
+	}
+}
+
+func TestSweepPointAggregates(t *testing.T) {
+	pt, err := SweepPoint(16, 4, 8, 7, 0, false, 4, 0, EngineAgent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Trials != 8 || pt.Unconverged != 0 || pt.Mean <= 0 {
+		t.Fatalf("%+v", pt)
+	}
+}
+
+func TestRunFig3Small(t *testing.T) {
+	series, err := RunFig3(Fig3Config{Ks: []int{3}, NMin: 5, NMax: 12, NStep: 1, Trials: 5, Seed: 3, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 || len(series[0].Points) != 8 {
+		t.Fatalf("series shape: %d / %d", len(series), len(series[0].Points))
+	}
+	for _, p := range series[0].Points {
+		if p.Mean <= 0 || p.Unconverged > 0 {
+			t.Fatalf("bad point %+v", p)
+		}
+	}
+}
+
+func TestRunFig3DefaultsClampNMin(t *testing.T) {
+	series, err := RunFig3(Fig3Config{Ks: []int{6}, NMin: 2, NMax: 9, Trials: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series[0].Points[0].N != 8 { // k+2
+		t.Fatalf("first n = %d, want 8", series[0].Points[0].N)
+	}
+}
+
+func TestRunFig5RejectsBadDivisibility(t *testing.T) {
+	_, err := RunFig5(Fig5Config{Ks: []int{7}, Base: 120, NFactors: []int{1}, Trials: 1, Seed: 1})
+	if err == nil {
+		t.Fatal("120 %% 7 != 0 accepted")
+	}
+}
+
+func TestRunFig5Small(t *testing.T) {
+	series, err := RunFig5(Fig5Config{Ks: []int{3, 4}, Base: 12, NFactors: []int{1, 2}, Trials: 3, Seed: 11, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 || len(series[0].Points) != 2 {
+		t.Fatal("series shape")
+	}
+	if series[0].Points[0].N != 12 || series[0].Points[1].N != 24 {
+		t.Fatalf("ns: %+v", series[0].Points)
+	}
+}
+
+func TestRunFig6Small(t *testing.T) {
+	pts, err := RunFig6(Fig6Config{N: 24, Ks: []int{2, 3, 4}, Trials: 3, Seed: 13, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatal("points")
+	}
+	for _, p := range pts {
+		if p.N != 24 || p.Mean <= 0 {
+			t.Fatalf("%+v", p)
+		}
+	}
+}
+
+func TestRunFig6RejectsBadDivisor(t *testing.T) {
+	if _, err := RunFig6(Fig6Config{N: 24, Ks: []int{5}, Trials: 1, Seed: 1}); err == nil {
+		t.Fatal("bad divisor accepted")
+	}
+}
+
+func TestCompareRunsAllContenders(t *testing.T) {
+	rows, err := Compare(16, 4, 3, 21, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // k=4 is a power of two: all three run
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Unconverged > 0 || r.Mean <= 0 {
+			t.Fatalf("row %+v", r)
+		}
+	}
+	// The paper's protocol must win on worst spread.
+	if rows[0].WorstSpread > 1 {
+		t.Fatalf("paper protocol spread %d", rows[0].WorstSpread)
+	}
+	// State budget claims.
+	if rows[0].States != 10 || rows[1].States != 10 || rows[2].States != 10 {
+		t.Fatalf("state counts %d %d %d", rows[0].States, rows[1].States, rows[2].States)
+	}
+}
+
+func TestCompareSkipsUnsupported(t *testing.T) {
+	rows, err := Compare(15, 5, 2, 22, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Name == "repeated bipartition" {
+			t.Fatal("k=5 should not run the power-of-two contender")
+		}
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+}
+
+func TestSchedulerAblation(t *testing.T) {
+	rows, err := RunSchedulerAblation(12, 3, 4, 31, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Unconverged > 0 {
+			t.Fatalf("%s did not converge", r.Scheduler)
+		}
+		if r.Mean <= 0 {
+			t.Fatalf("%s mean %v", r.Scheduler, r.Mean)
+		}
+	}
+}
+
+func TestRenderHelpers(t *testing.T) {
+	series := []KSeries{{K: 3, Points: []Point{
+		{N: 6, K: 3, Trials: 2, Mean: 50, Min: 40, Max: 60, MeanDeltas: []float64{20, 30}},
+		{N: 9, K: 3, Trials: 2, Mean: 80, Min: 70, Max: 90, MeanDeltas: []float64{20, 25, 35}},
+	}}}
+	if s := ToSeries(series[0]); len(s.X) != 2 || s.Name != "k=3" {
+		t.Fatalf("%+v", s)
+	}
+	if tb := SweepTable(series); len(tb.Rows) != 2 {
+		t.Fatal("sweep table rows")
+	}
+	if tb := GroupingTable(series[0]); len(tb.Header) != 4 { // n + 3 groupings
+		t.Fatalf("grouping header %v", tb.Header)
+	}
+	bars := GroupingBars(series[0])
+	if len(bars.X) != 2 || len(bars.Segments) != 3 {
+		t.Fatalf("bars %+v", bars)
+	}
+	pts := []Point{{N: 24, K: 2, Mean: 10}, {N: 24, K: 4, Mean: 100}}
+	if s := Fig6Series(pts); len(s.X) != 2 || !strings.Contains(s.Name, "24") {
+		t.Fatalf("%+v", s)
+	}
+	if tb := Fig6Table(pts); len(tb.Rows) != 2 {
+		t.Fatal("fig6 table")
+	}
+	readout, err := GrowthReadout("fig6", []float64{2, 4, 6, 8}, []float64{10, 100, 1000, 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(readout, "exponential") {
+		t.Fatalf("readout %q", readout)
+	}
+}
+
+func TestCompareAndSchedulerTables(t *testing.T) {
+	ct := CompareTable([]CompareResult{{Name: "x", N: 10, K: 2, States: 4, Trials: 1, Mean: 5}})
+	if len(ct.Rows) != 1 {
+		t.Fatal("compare table")
+	}
+	st := SchedulerTable([]SchedulerAblationRow{{Scheduler: "random", N: 10, K: 2, Trials: 1, Mean: 5}})
+	if len(st.Rows) != 1 {
+		t.Fatal("scheduler table")
+	}
+}
+
+func TestWriteCSVFile(t *testing.T) {
+	dir := t.TempDir()
+	tb := SweepTable([]KSeries{{K: 2, Points: []Point{{N: 5, K: 2, Trials: 1, Mean: 9}}}})
+	path, err := WriteCSVFile(filepath.Join(dir, "sub"), "fig.csv", tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "mean_interactions") {
+		t.Fatalf("csv content %q", data)
+	}
+}
+
+func TestSeedForCellMatchesSweep(t *testing.T) {
+	// The seed SweepPoint uses for (pointID=5, trial=3) must equal
+	// SeedForCell's derivation — the re-run-a-cell contract.
+	want := SeedForCell(42, 5, 3)
+	got := SeedForCell(42, 5, 3)
+	if want != got {
+		t.Fatal("SeedForCell not deterministic")
+	}
+	if SeedForCell(42, 5, 4) == want || SeedForCell(42, 6, 3) == want {
+		t.Fatal("seed collisions across cells")
+	}
+}
+
+func TestSaveLoadJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	doc := ResultDoc{
+		Experiment: "fig6",
+		Seed:       42,
+		Trials:     10,
+		Points:     []Point{{N: 960, K: 4, Trials: 10, Mean: 123.4, CI95: 5.6, Min: 100, Max: 150}},
+	}
+	path, err := SaveJSON(dir, "fig6.json", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Experiment != "fig6" || got.Seed != 42 || len(got.Points) != 1 {
+		t.Fatalf("%+v", got)
+	}
+	if g, w := got.Points[0], doc.Points[0]; g.N != w.N || g.K != w.K || g.Mean != w.Mean ||
+		g.CI95 != w.CI95 || g.Min != w.Min || g.Max != w.Max {
+		t.Fatalf("point mismatch: %+v vs %+v", g, w)
+	}
+	if got.CreatedAt == "" {
+		t.Fatal("CreatedAt not stamped")
+	}
+}
+
+func TestLoadJSONErrors(t *testing.T) {
+	if _, err := LoadJSON("/nonexistent/x.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadJSON(bad); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSaveJSONSeriesForm(t *testing.T) {
+	dir := t.TempDir()
+	doc := ResultDoc{
+		Experiment: "fig3",
+		Seed:       7,
+		Trials:     2,
+		Series: []KSeries{{K: 4, Points: []Point{
+			{N: 8, K: 4, Trials: 2, Mean: 50, MeanDeltas: []float64{20, 30}},
+		}}},
+	}
+	path, err := SaveJSON(dir, "fig3.json", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Series) != 1 || len(got.Series[0].Points[0].MeanDeltas) != 2 {
+		t.Fatalf("%+v", got)
+	}
+}
+
+func TestTopologySurvey(t *testing.T) {
+	rows, err := RunTopologySurvey(9, 3, 6, 13, 20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("only %d graphs surveyed", len(rows))
+	}
+	byName := map[string]TopologyRow{}
+	for _, r := range rows {
+		byName[r.Graph] = r
+		if r.Uniform+r.NonUniform+r.Unfrozen != r.Trials {
+			t.Fatalf("%s: outcome counts don't add up: %+v", r.Graph, r)
+		}
+	}
+	complete, ok := byName["complete-9"]
+	if !ok {
+		t.Fatal("complete graph missing from survey")
+	}
+	if complete.NonUniform != 0 || complete.Uniform == 0 {
+		t.Fatalf("complete graph misbehaved: %+v", complete)
+	}
+	if tb := TopologyTable(rows); len(tb.Rows) != len(rows) {
+		t.Fatal("table rows")
+	}
+}
+
+func TestRunTrialCountEngine(t *testing.T) {
+	res, err := RunTrial(TrialSpec{N: 30, K: 4, Seed: 5, Engine: EngineCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Spread > 1 {
+		t.Fatalf("%+v", res)
+	}
+	// Null skipping means strictly more interactions than productive steps.
+	if res.Productive >= res.Interactions {
+		t.Fatalf("no null interactions recorded: %d/%d", res.Productive, res.Interactions)
+	}
+}
+
+func TestRunTrialCountEngineGrouping(t *testing.T) {
+	res, err := RunTrial(TrialSpec{N: 22, K: 4, Seed: 2, Grouping: true, Engine: EngineCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Marks) != 22/4 {
+		t.Fatalf("count engine recorded %d marks, want 5", len(res.Marks))
+	}
+	var prev uint64
+	for i, m := range res.Marks {
+		if m < prev || m > res.Interactions {
+			t.Fatalf("mark %d = %d out of order", i, m)
+		}
+		prev = m
+	}
+}
+
+// The two engines must agree on mean interactions (same distribution):
+// z-test over a moderate sample at one point.
+func TestEnginesAgreeOnMeans(t *testing.T) {
+	const n, k, trials = 18, 3, 2000
+	var sums [2]float64
+	var sumsqs [2]float64
+	for e, engine := range []Engine{EngineAgent, EngineCount} {
+		for i := 0; i < trials; i++ {
+			res, err := RunTrial(TrialSpec{N: n, K: k, Engine: engine,
+				Seed: SeedForCell(uint64(0xe0+e), 0, i)})
+			if err != nil || !res.Converged {
+				t.Fatalf("%v", err)
+			}
+			x := float64(res.Interactions)
+			sums[e] += x
+			sumsqs[e] += x * x
+		}
+	}
+	mean0, mean1 := sums[0]/trials, sums[1]/trials
+	var0 := (sumsqs[0] - sums[0]*sums[0]/trials) / (trials - 1)
+	var1 := (sumsqs[1] - sums[1]*sums[1]/trials) / (trials - 1)
+	se := math.Sqrt(var0/trials + var1/trials)
+	if diff := math.Abs(mean0 - mean1); diff > 4*se {
+		t.Fatalf("engine means diverge: %.2f vs %.2f (diff %.2f > 4·SE %.2f)", mean0, mean1, diff, 4*se)
+	}
+}
+
+func TestRunTrajectory(t *testing.T) {
+	series, err := RunTrajectory(TrajectoryConfig{N: 24, Ks: []int{3, 4}, Trials: 6, Seed: 9, Samples: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("%d series", len(series))
+	}
+	for _, s := range series {
+		if len(s.X) < 5 {
+			t.Fatalf("k=%d: only %d samples", s.K, len(s.X))
+		}
+		// Spread starts at 0 (all agents in group 1... spread over k
+		// groups of the all-initial config is n vs 0 = n? No: all agents
+		// are in group 1, so spread = n − 0 = n. First sample is the
+		// initial config.
+		if s.MeanSpread[0] != 24 {
+			t.Fatalf("k=%d: initial spread %v, want 24", s.K, s.MeanSpread[0])
+		}
+		// The final sample must be well below the initial spread and most
+		// trials stable by the horizon (HorizonFactor 1.2 of a pilot mean).
+		last := len(s.X) - 1
+		if s.MeanSpread[last] > 2 {
+			t.Fatalf("k=%d: final mean spread %v", s.K, s.MeanSpread[last])
+		}
+		if s.StableFrac[0] != 0 {
+			t.Fatalf("k=%d: stable at time 0", s.K)
+		}
+		// Stable fraction is monotone non-decreasing.
+		for i := 1; i < len(s.StableFrac); i++ {
+			if s.StableFrac[i] < s.StableFrac[i-1] {
+				t.Fatalf("k=%d: stable fraction decreased at %d", s.K, i)
+			}
+		}
+	}
+	if tb := TrajectoryTable(series); len(tb.Rows) == 0 {
+		t.Fatal("empty trajectory table")
+	}
+	if ch := TrajectoryChart(series); len(ch.Series) != 2 {
+		t.Fatal("chart series")
+	}
+}

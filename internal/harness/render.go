@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// This file turns aggregated experiment points into report artifacts:
+// series for ASCII charts, tables, CSV files, and the growth-fit readouts
+// that mechanize the paper's Section 5 conclusions.
+
+// ToSeries converts a KSeries sweep (x = n) into a chart series.
+func ToSeries(s KSeries) report.Series {
+	out := report.Series{Name: fmt.Sprintf("k=%d", s.K)}
+	for _, p := range s.Points {
+		out.X = append(out.X, float64(p.N))
+		out.Y = append(out.Y, p.Mean)
+	}
+	return out
+}
+
+// Fig6Series converts Figure 6 points (x = k) into a chart series.
+func Fig6Series(pts []Point) report.Series {
+	out := report.Series{Name: "n=960"}
+	for _, p := range pts {
+		out.X = append(out.X, float64(p.K))
+		out.Y = append(out.Y, p.Mean)
+	}
+	if len(pts) > 0 {
+		out.Name = fmt.Sprintf("n=%d", pts[0].N)
+	}
+	return out
+}
+
+// SweepTable renders KSeries sweeps as a table with one row per (k, n).
+func SweepTable(series []KSeries) *report.Table {
+	t := report.NewTable("k", "n", "trials", "mean_interactions", "ci95", "median", "p90", "min", "max", "unconverged")
+	for _, s := range series {
+		for _, p := range s.Points {
+			t.AddRow(s.K, p.N, p.Trials, p.Mean, p.CI95, p.Median, p.P90, p.Min, p.Max, p.Unconverged)
+		}
+	}
+	return t
+}
+
+// Fig6Table renders Figure 6 points.
+func Fig6Table(pts []Point) *report.Table {
+	t := report.NewTable("n", "k", "trials", "mean_interactions", "ci95", "median", "p90", "min", "max", "unconverged")
+	for _, p := range pts {
+		t.AddRow(p.N, p.K, p.Trials, p.Mean, p.CI95, p.Median, p.P90, p.Min, p.Max, p.Unconverged)
+	}
+	return t
+}
+
+// GroupingTable renders the Figure 4 decomposition: one row per n, one
+// column per grouping (plus remainder tail).
+func GroupingTable(s KSeries) *report.Table {
+	maxCols := 0
+	for _, p := range s.Points {
+		if len(p.MeanDeltas) > maxCols {
+			maxCols = len(p.MeanDeltas)
+		}
+	}
+	header := []string{"n"}
+	for i := 1; i <= maxCols; i++ {
+		header = append(header, fmt.Sprintf("grouping_%d", i))
+	}
+	t := report.NewTable(header...)
+	for _, p := range s.Points {
+		row := make([]any, 0, maxCols+1)
+		row = append(row, p.N)
+		for i := 0; i < maxCols; i++ {
+			if i < len(p.MeanDeltas) {
+				row = append(row, p.MeanDeltas[i])
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// GroupingBars renders a KSeries with MeanDeltas as a stacked bar chart
+// (the shape of Figure 4).
+func GroupingBars(s KSeries) *report.StackedBars {
+	bars := &report.StackedBars{
+		Title:  fmt.Sprintf("Per-grouping interactions, k=%d (Figure 4 shape)", s.K),
+		XLabel: "population size n",
+	}
+	maxCols := 0
+	for _, p := range s.Points {
+		bars.X = append(bars.X, float64(p.N))
+		bars.Values = append(bars.Values, p.MeanDeltas)
+		if len(p.MeanDeltas) > maxCols {
+			maxCols = len(p.MeanDeltas)
+		}
+	}
+	for i := 1; i <= maxCols; i++ {
+		bars.Segments = append(bars.Segments, fmt.Sprintf("%d-grouping", i))
+	}
+	return bars
+}
+
+// GrowthReadout fits the three growth models to a series and renders the
+// paper's qualitative conclusion for it.
+func GrowthReadout(name string, x, y []float64) (string, error) {
+	g, err := stats.FitGrowth(x, y)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf(
+		"%s: best model = %s | linear r²=%.4f | power r²=%.4f (exponent %.2f) | exponential r²=%.4f (rate %.3f)",
+		name, g.BestModel(), g.Linear.R2, g.Power.R2, g.Power.Slope, g.Exponential.R2, g.Exponential.Slope), nil
+}
+
+// CompareTable renders comparison rows.
+func CompareTable(rows []CompareResult) *report.Table {
+	t := report.NewTable("protocol", "n", "k", "states", "trials", "mean_interactions", "ci95", "mean_spread", "worst_spread", "unconverged")
+	for _, r := range rows {
+		t.AddRow(r.Name, r.N, r.K, r.States, r.Trials, r.Mean, r.CI95, r.MeanSpread, r.WorstSpread, r.Unconverged)
+	}
+	return t
+}
+
+// SchedulerTable renders scheduler-ablation rows.
+func SchedulerTable(rows []SchedulerAblationRow) *report.Table {
+	t := report.NewTable("scheduler", "n", "k", "trials", "mean_interactions", "ci95", "unconverged")
+	for _, r := range rows {
+		t.AddRow(r.Scheduler, r.N, r.K, r.Trials, r.Mean, r.CI95, r.Unconverged)
+	}
+	return t
+}
+
+// WriteCSVFile writes a table's CSV form to dir/name, creating dir.
+func WriteCSVFile(dir, name string, t *report.Table) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if _, err := io.WriteString(f, t.CSV()); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/population"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Topology survey (ablation A4): run the k-partition protocol on
+// restricted interaction graphs until the configuration is group-frozen,
+// and record how often the frozen partition is uniform. On the complete
+// graph the answer is always (Theorem 1); on stars and rings the protocol
+// can deadlock non-uniformly, demonstrating that the paper's
+// complete-graph assumption is load-bearing.
+
+// TopologyRow aggregates one graph's trials.
+type TopologyRow struct {
+	Graph        string
+	N, K         int
+	Trials       int
+	Uniform      int     // frozen with spread <= 1
+	NonUniform   int     // frozen with spread > 1
+	Unfrozen     int     // hit the interaction cap while still live
+	MeanToFreeze float64 // mean interactions to freeze (frozen runs only)
+	WorstSpread  int
+}
+
+// RunTopologySurvey executes the survey over the standard graph lineup.
+func RunTopologySurvey(n, k, trials int, seed uint64, maxInteractions uint64) ([]TopologyRow, error) {
+	if maxInteractions == 0 {
+		maxInteractions = 50_000_000
+	}
+	p := Proto(k)
+	graphs := []func() (*topology.Graph, error){
+		func() (*topology.Graph, error) { return topology.Complete(n) },
+		func() (*topology.Graph, error) { return topology.Ring(n) },
+		func() (*topology.Graph, error) { return topology.Star(n) },
+		func() (*topology.Graph, error) { return topology.RandomRegular(n, 4, seed) },
+	}
+	var out []TopologyRow
+	for gi, mk := range graphs {
+		g, err := mk()
+		if err != nil {
+			// Some graphs are undefined at this n (e.g. 4-regular needs
+			// n >= 5 and even n·d); skip rather than fail the survey.
+			continue
+		}
+		row := TopologyRow{Graph: g.Name(), N: n, K: k, Trials: trials}
+		var sumFreeze float64
+		for t := 0; t < trials; t++ {
+			pop := population.New(p, n)
+			cond := &topology.FrozenCondition{G: g, Proto: p, Orbits: p.ParityOrbit}
+			res, err := sim.Run(pop,
+				topology.NewEdgeScheduler(g, rng.StreamSeed(seed, uint64(gi), uint64(t))),
+				cond, sim.Options{MaxInteractions: maxInteractions})
+			if err != nil {
+				return nil, fmt.Errorf("topology survey %s: %w", g.Name(), err)
+			}
+			if !res.Converged {
+				row.Unfrozen++
+				continue
+			}
+			sumFreeze += float64(res.Interactions)
+			if sp := res.Spread(); sp > 1 {
+				row.NonUniform++
+				if sp > row.WorstSpread {
+					row.WorstSpread = sp
+				}
+			} else {
+				row.Uniform++
+				if sp := res.Spread(); sp > row.WorstSpread {
+					row.WorstSpread = sp
+				}
+			}
+		}
+		if frozen := row.Uniform + row.NonUniform; frozen > 0 {
+			row.MeanToFreeze = sumFreeze / float64(frozen)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// TopologyTable renders survey rows.
+func TopologyTable(rows []TopologyRow) *report.Table {
+	t := report.NewTable("graph", "n", "k", "trials", "uniform", "non_uniform", "unfrozen", "mean_to_freeze", "worst_spread")
+	for _, r := range rows {
+		t.AddRow(r.Graph, r.N, r.K, r.Trials, r.Uniform, r.NonUniform, r.Unfrozen, r.MeanToFreeze, r.WorstSpread)
+	}
+	return t
+}

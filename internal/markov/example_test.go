@@ -1,0 +1,33 @@
+package markov_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/markov"
+	"repro/internal/protocols/classic"
+)
+
+// Exact expected stabilization time for a small population — the
+// closed-form anchor the simulator is validated against.
+func ExampleExpectedStabilization() {
+	e, err := markov.ExpectedStabilization(core.MustNew(3), 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("E[interactions] = %.3f\n", e)
+	// Output:
+	// E[interactions] = 6.000
+}
+
+// Leader election's expected time has the closed form (n−1)²; the chain
+// solver reproduces it.
+func ExampleVariance() {
+	mean, variance, err := markov.Variance(classic.NewLeaderElection(), 5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("mean = %.0f, variance > 0: %v\n", mean, variance > 0)
+	// Output:
+	// mean = 16, variance > 0: true
+}

@@ -1,0 +1,386 @@
+// Package markov computes exact expected stabilization times for small
+// populations by analyzing the configuration Markov chain induced by the
+// uniform-random scheduler (the paper's Section 5 interaction model:
+// every ordered agent pair equally likely each step).
+//
+// For a protocol with state multiset configurations c, the chain's step
+// distribution is
+//
+//	P(pick ordered states (a, b)) = c[a]·(c[b] − [a = b]) / (n·(n−1)),
+//
+// and the paper's time metric — interactions until a stable configuration
+// — is the hitting time of the stable set. Because stability is closed
+// (no transition leaves the stable set), hitting times solve the linear
+// system E[c] = 1 + Σ P(c→c')·E[c'] over transient configurations with
+// E = 0 on the stable set.
+//
+// The package solves the system two ways: Gauss–Seidel sweeps (scales to
+// the tens of thousands of reachable configurations typical for n ≤ 12)
+// and dense Gaussian elimination (small systems; used by tests to validate
+// the iterative solver). Comparing these exact values against simulation
+// means is the strongest correctness check the repository has for the
+// whole simulation stack — generator, scheduler, engine, and detector
+// must all be unbiased for the two to agree.
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/explore"
+	"repro/internal/protocol"
+)
+
+// Edge is one outgoing transition of a configuration with its probability.
+type Edge struct {
+	To int     // target node id in the Chain's graph
+	P  float64 // probability of this step (aggregated over state pairs)
+}
+
+// Chain is the configuration Markov chain of a protocol at population n.
+type Chain struct {
+	Graph *explore.Graph
+	// Out[i] lists node i's outgoing edges to OTHER nodes; SelfLoop[i]
+	// is the probability of staying (null interactions plus productive
+	// interactions that happen to reproduce the same multiset).
+	Out      [][]Edge
+	SelfLoop []float64
+	// Stable marks the absorbing target set (group-frozen closure).
+	Stable []bool
+}
+
+// New builds the chain for p with n agents.
+func New(p protocol.Protocol, n int) (*Chain, error) {
+	g, err := explore.Build(p, n)
+	if err != nil {
+		return nil, err
+	}
+	ch := &Chain{
+		Graph:    g,
+		Out:      make([][]Edge, len(g.Nodes)),
+		SelfLoop: make([]float64, len(g.Nodes)),
+		Stable:   g.StableNodes(),
+	}
+	S := p.NumStates()
+	total := float64(n) * float64(n-1)
+	for i, node := range g.Nodes {
+		probs := make(map[int]float64)
+		var self float64
+		for a := 0; a < S; a++ {
+			ca := node.Counts[a]
+			if ca == 0 {
+				continue
+			}
+			for b := 0; b < S; b++ {
+				cb := node.Counts[b]
+				if b == a {
+					cb--
+				}
+				if cb <= 0 {
+					continue
+				}
+				w := float64(ca) * float64(cb) / total
+				out, _ := p.Delta(protocol.State(a), protocol.State(b))
+				if int(out.P) == a && int(out.Q) == b {
+					self += w
+					continue
+				}
+				next := explore.Config{Counts: append([]int(nil), node.Counts...)}
+				next.Counts[a]--
+				next.Counts[b]--
+				next.Counts[out.P]++
+				next.Counts[out.Q]++
+				id, ok := g.Lookup(next)
+				if !ok {
+					return nil, fmt.Errorf("markov: node %d transitions outside the reachable graph", i)
+				}
+				if id == i {
+					self += w
+				} else {
+					probs[id] += w
+				}
+			}
+		}
+		ch.SelfLoop[i] = self
+		for id, w := range probs {
+			ch.Out[i] = append(ch.Out[i], Edge{To: id, P: w})
+		}
+	}
+	return ch, nil
+}
+
+// Errors returned by the solvers.
+var (
+	ErrNoStable   = errors.New("markov: no stable configuration reachable")
+	ErrNoConverge = errors.New("markov: Gauss-Seidel did not converge")
+)
+
+// HittingTimes solves for the expected number of interactions from every
+// configuration to the stable set, by Gauss–Seidel iteration to the given
+// sup-norm tolerance. Stable nodes get 0. Nodes that cannot reach the
+// stable set would have infinite expectation; Build-time liveness (see
+// explore.Check) rules those out for the paper's protocol, but the solver
+// still detects the situation and errors rather than looping forever.
+func (ch *Chain) HittingTimes(tol float64, maxIter int) ([]float64, error) {
+	nNodes := len(ch.Graph.Nodes)
+	hasStable := false
+	for _, s := range ch.Stable {
+		if s {
+			hasStable = true
+			break
+		}
+	}
+	if !hasStable {
+		return nil, ErrNoStable
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if maxIter <= 0 {
+		maxIter = 2_000_000
+	}
+	// Liveness pre-check: every node must reach the stable set.
+	reach := ch.Graph.CanReach(ch.Stable)
+	for i, ok := range reach {
+		if !ok {
+			return nil, fmt.Errorf("%w: node %d", ErrNoStable, i)
+		}
+	}
+	E := make([]float64, nNodes)
+	for iter := 0; iter < maxIter; iter++ {
+		var maxDelta float64
+		for i := 0; i < nNodes; i++ {
+			if ch.Stable[i] {
+				continue
+			}
+			sum := 1.0
+			for _, e := range ch.Out[i] {
+				sum += e.P * E[e.To]
+			}
+			// E[i] = sum + selfLoop*E[i]  =>  E[i] = sum / (1 - selfLoop).
+			denom := 1 - ch.SelfLoop[i]
+			if denom <= 0 {
+				return nil, fmt.Errorf("%w: node %d is fully self-looping", ErrNoStable, i)
+			}
+			next := sum / denom
+			if d := math.Abs(next - E[i]); d > maxDelta {
+				maxDelta = d
+			}
+			E[i] = next
+		}
+		if maxDelta < tol {
+			return E, nil
+		}
+	}
+	return nil, ErrNoConverge
+}
+
+// SecondMoments solves for E[T²] given the first moments E[T] (from
+// HittingTimes): conditioning on the first step, T_i = 1 + T_J with J the
+// next configuration, so
+//
+//	E[T_i²] = 1 + 2·Σ_j P_ij·E[T_j] + Σ_j P_ij·E[T_j²],
+//
+// another linear system with the same matrix, solved by the same
+// Gauss–Seidel sweeps. Together with HittingTimes this yields the exact
+// variance of the stabilization time — the paper reports only means, but
+// the simulation CIs suggest heavy tails, and this makes the dispersion
+// exact at small n (see Variance).
+func (ch *Chain) SecondMoments(E []float64, tol float64, maxIter int) ([]float64, error) {
+	nNodes := len(ch.Graph.Nodes)
+	if len(E) != nNodes {
+		return nil, fmt.Errorf("markov: E has %d entries, chain has %d nodes", len(E), nNodes)
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	if maxIter <= 0 {
+		maxIter = 2_000_000
+	}
+	M := make([]float64, nNodes)
+	for iter := 0; iter < maxIter; iter++ {
+		var maxDelta float64
+		for i := 0; i < nNodes; i++ {
+			if ch.Stable[i] {
+				continue
+			}
+			// E[T_i²]·(1 − p_ii) = 1 + 2·(p_ii·E_i + Σ_out p·E_j)
+			//                      + Σ_out p·M_j  + p_ii·(2·?)...
+			// Derive carefully with the self-loop: T_i = 1 + T_next where
+			// next = i with prob p_ii. E[T_i²] = 1 + 2Σp·E + Σp·M, where
+			// sums include the self term p_ii·E_i and p_ii·M_i.
+			sum := 1.0 + 2*ch.SelfLoop[i]*E[i]
+			acc := ch.SelfLoop[i] // coefficient of M_i moved to LHS below
+			for _, e := range ch.Out[i] {
+				sum += 2*e.P*E[e.To] + e.P*M[e.To]
+			}
+			denom := 1 - acc
+			if denom <= 0 {
+				return nil, fmt.Errorf("%w: node %d is fully self-looping", ErrNoStable, i)
+			}
+			next := sum / denom
+			if d := math.Abs(next - M[i]); d > maxDelta {
+				maxDelta = d
+			}
+			M[i] = next
+		}
+		if maxDelta < tol*(1+M[0]) {
+			return M, nil
+		}
+	}
+	return nil, ErrNoConverge
+}
+
+// Variance returns the exact variance of the interactions-to-stability
+// from the all-initial configuration.
+func Variance(p protocol.Protocol, n int) (mean, variance float64, err error) {
+	ch, err := New(p, n)
+	if err != nil {
+		return 0, 0, err
+	}
+	E, err := ch.HittingTimes(1e-12, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	M, err := ch.SecondMoments(E, 1e-12, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	return E[0], M[0] - E[0]*E[0], nil
+}
+
+// ExpectedStabilization returns the exact expected number of interactions
+// from the all-initial configuration to the stable set.
+func ExpectedStabilization(p protocol.Protocol, n int) (float64, error) {
+	ch, err := New(p, n)
+	if err != nil {
+		return 0, err
+	}
+	E, err := ch.HittingTimes(1e-10, 0)
+	if err != nil {
+		return 0, err
+	}
+	return E[0], nil
+}
+
+// Survival computes the exact distribution tail of the stabilization time:
+// P(T > t) for each t in 0..maxT, where T is the number of interactions
+// until the stable set is first entered, starting from the all-initial
+// configuration. It iterates the probability vector over the chain
+// (absorbing the stable set), O(edges) per step — the exact counterpart of
+// the heavy-tail observation the simulation quantiles make at large n.
+func (ch *Chain) Survival(maxT int) []float64 {
+	n := len(ch.Graph.Nodes)
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	if ch.Stable[0] {
+		out := make([]float64, maxT+1)
+		return out // starts absorbed; P(T > t) = 0 everywhere
+	}
+	cur[0] = 1
+	out := make([]float64, 0, maxT+1)
+	alive := 1.0
+	for t := 0; t <= maxT; t++ {
+		out = append(out, alive)
+		if alive == 0 {
+			continue
+		}
+		for i := range next {
+			next[i] = 0
+		}
+		for i, p := range cur {
+			if p == 0 {
+				continue
+			}
+			next[i] += p * ch.SelfLoop[i]
+			for _, e := range ch.Out[i] {
+				if ch.Stable[e.To] {
+					continue // absorbed; leaves the survival mass
+				}
+				next[e.To] += p * e.P
+			}
+		}
+		cur, next = next, cur
+		alive = 0
+		for _, p := range cur {
+			alive += p
+		}
+	}
+	return out
+}
+
+// SolveDense computes hitting times by dense Gaussian elimination with
+// partial pivoting — O(m³), for cross-validating the iterative solver on
+// small chains (tests) and for chains where Gauss–Seidel converges slowly.
+func (ch *Chain) SolveDense() ([]float64, error) {
+	n := len(ch.Graph.Nodes)
+	var transient []int
+	index := make([]int, n)
+	for i := range index {
+		index[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		if !ch.Stable[i] {
+			index[i] = len(transient)
+			transient = append(transient, i)
+		}
+	}
+	m := len(transient)
+	if m == 0 {
+		return make([]float64, n), nil
+	}
+	if m > 2000 {
+		return nil, fmt.Errorf("markov: dense solver limited to 2000 transient nodes, got %d", m)
+	}
+	// Build (I − Q) x = 1 over transient nodes.
+	A := make([][]float64, m)
+	bvec := make([]float64, m)
+	for r, node := range transient {
+		A[r] = make([]float64, m)
+		A[r][r] = 1 - ch.SelfLoop[node]
+		for _, e := range ch.Out[node] {
+			if j := index[e.To]; j >= 0 {
+				A[r][j] -= e.P
+			}
+		}
+		bvec[r] = 1
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < m; col++ {
+		piv := col
+		for r := col + 1; r < m; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(A[piv][col]) < 1e-14 {
+			return nil, ErrNoStable
+		}
+		A[col], A[piv] = A[piv], A[col]
+		bvec[col], bvec[piv] = bvec[piv], bvec[col]
+		for r := col + 1; r < m; r++ {
+			f := A[r][col] / A[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < m; c++ {
+				A[r][c] -= f * A[col][c]
+			}
+			bvec[r] -= f * bvec[col]
+		}
+	}
+	x := make([]float64, m)
+	for r := m - 1; r >= 0; r-- {
+		s := bvec[r]
+		for c := r + 1; c < m; c++ {
+			s -= A[r][c] * x[c]
+		}
+		x[r] = s / A[r][r]
+	}
+	E := make([]float64, n)
+	for r, node := range transient {
+		E[node] = x[r]
+	}
+	return E, nil
+}

@@ -1,0 +1,344 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/protocols/bipartition"
+	"repro/internal/protocols/classic"
+	"repro/internal/rng"
+)
+
+func TestChainProbabilitiesSumToOne(t *testing.T) {
+	for _, cse := range []struct{ n, k int }{{4, 2}, {5, 3}, {6, 3}, {7, 4}} {
+		ch, err := New(core.MustNew(cse.k), cse.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ch.Graph.Nodes {
+			sum := ch.SelfLoop[i]
+			for _, e := range ch.Out[i] {
+				sum += e.P
+				if e.P <= 0 || e.P > 1 {
+					t.Fatalf("n=%d k=%d node %d: edge prob %v", cse.n, cse.k, i, e.P)
+				}
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("n=%d k=%d node %d: probs sum to %v", cse.n, cse.k, i, sum)
+			}
+		}
+	}
+}
+
+func TestHittingTimesZeroOnStable(t *testing.T) {
+	ch, err := New(core.MustNew(3), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	E, err := ch.HittingTimes(1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range ch.Stable {
+		if s && E[i] != 0 {
+			t.Fatalf("stable node %d has E=%v", i, E[i])
+		}
+		if !s && E[i] <= 0 {
+			t.Fatalf("transient node %d has E=%v", i, E[i])
+		}
+	}
+}
+
+// The two solvers must agree to high precision.
+func TestDenseMatchesGaussSeidel(t *testing.T) {
+	for _, cse := range []struct{ n, k int }{{4, 2}, {5, 2}, {5, 3}, {6, 3}, {6, 4}} {
+		ch, err := New(core.MustNew(cse.k), cse.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs, err := ch.HittingTimes(1e-12, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dense, err := ch.SolveDense()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range gs {
+			if math.Abs(gs[i]-dense[i]) > 1e-6*(1+dense[i]) {
+				t.Fatalf("n=%d k=%d node %d: GS %v vs dense %v", cse.n, cse.k, i, gs[i], dense[i])
+			}
+		}
+	}
+}
+
+// THE cross-validation: exact expectation vs simulation mean. Any bias in
+// the generator, pair sampling, engine, or stability detector shows up
+// here. 40000 trials give a standard error well under 1% of the mean for
+// these sizes; the tolerance is 4 standard errors.
+func TestExactMatchesSimulation(t *testing.T) {
+	cases := []struct{ n, k int }{{5, 2}, {6, 3}, {8, 4}}
+	for _, cse := range cases {
+		exact, err := ExpectedStabilization(core.MustNew(cse.k), cse.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const trials = 40000
+		var sum, sumsq float64
+		for i := 0; i < trials; i++ {
+			res, err := harness.RunTrial(harness.TrialSpec{
+				N: cse.n, K: cse.k,
+				Seed: rng.StreamSeed(0xfeed, uint64(cse.n), uint64(cse.k), uint64(i)),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := float64(res.Interactions)
+			sum += x
+			sumsq += x * x
+		}
+		mean := sum / trials
+		variance := (sumsq - sum*sum/trials) / (trials - 1)
+		se := math.Sqrt(variance / trials)
+		if diff := math.Abs(mean - exact); diff > 4*se+1e-9 {
+			t.Errorf("n=%d k=%d: simulated mean %.3f vs exact %.3f (|diff| %.3f > 4·SE %.3f)",
+				cse.n, cse.k, mean, exact, diff, 4*se)
+		}
+	}
+}
+
+// Monotonicity sanity mirroring Figure 3's trend at fixed k: expected time
+// grows with n when n is a multiple of k.
+func TestExpectedGrowsWithN(t *testing.T) {
+	p := core.MustNew(3)
+	prev := 0.0
+	for _, n := range []int{3, 6, 9} {
+		e, err := ExpectedStabilization(p, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e <= prev {
+			t.Fatalf("E[n=%d] = %v not greater than previous %v", n, e, prev)
+		}
+		prev = e
+	}
+}
+
+// The n mod k effect (the paper's Figure 3 jaggedness) in exact form:
+// completing a remainder run can cost more than finishing a clean multiple.
+// At least, expectation must differ measurably across the remainder
+// classes of one period.
+func TestRemainderClassesDiffer(t *testing.T) {
+	p := core.MustNew(3)
+	var es []float64
+	for _, n := range []int{6, 7, 8} {
+		e, err := ExpectedStabilization(p, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		es = append(es, e)
+	}
+	if es[0] == es[1] || es[1] == es[2] {
+		t.Fatalf("expectations across remainder classes identical: %v", es)
+	}
+}
+
+func TestBipartitionExactSmall(t *testing.T) {
+	// n=3 bipartition: from (3·initial), exact expectation is finite and
+	// the chain is tiny; check solver plumbing end to end.
+	e, err := ExpectedStabilization(bipartition.New(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e <= 1 || math.IsNaN(e) || math.IsInf(e, 0) {
+		t.Fatalf("E = %v", e)
+	}
+}
+
+// Bipartition protocol at n=2 never stabilizes... in fact the 2-cycle IS
+// group-stable (both agents in group 1). Hitting time is 0 at start? No:
+// the start node (2·initial) is itself in the frozen 2-cycle, so it is
+// stable and E[start] = 0. Document that edge through an assertion.
+func TestN2FrozenCycleIsAbsorbing(t *testing.T) {
+	ch, err := New(bipartition.New(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ch.Stable[0] {
+		t.Fatal("n=2 start node not in the frozen cycle")
+	}
+	E, err := ch.HittingTimes(1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if E[0] != 0 {
+		t.Fatalf("E[start] = %v", E[0])
+	}
+}
+
+func TestHittingTimesDetectsNoStable(t *testing.T) {
+	ch, err := New(core.MustNew(3), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blank out the stable set to simulate a dead protocol.
+	for i := range ch.Stable {
+		ch.Stable[i] = false
+	}
+	if _, err := ch.HittingTimes(1e-10, 100); err == nil {
+		t.Fatal("missing stable set not detected")
+	}
+	if _, err := ch.SolveDense(); err == nil {
+		t.Fatal("dense solver: missing stable set not detected")
+	}
+}
+
+// Independent analytical cross-check: for the classic leader-election
+// protocol under the uniform-random ordered-pair scheduler, the expected
+// number of interactions to reach a single leader has the closed form
+//
+//	E = Σ_{j=2..n} n(n−1)/(j(j−1)) = n(n−1)·(1 − 1/n) = (n−1)².
+//
+// The Markov solver must reproduce it exactly (up to solver tolerance) —
+// a validation on a protocol with completely different structure from the
+// k-partition chain.
+func TestLeaderElectionClosedForm(t *testing.T) {
+	p := classic.NewLeaderElection()
+	for n := 3; n <= 10; n++ {
+		e, err := ExpectedStabilization(p, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64((n - 1) * (n - 1))
+		if math.Abs(e-want) > 1e-6*want {
+			t.Errorf("n=%d: exact E = %v, closed form %v", n, e, want)
+		}
+	}
+}
+
+// Variance cross-checks: (1) against the simulated sample variance at a
+// small point; (2) the dispersion is large (std comparable to the mean),
+// the exact version of the heavy tails the Figure 6 CIs suggest.
+func TestVarianceMatchesSimulation(t *testing.T) {
+	const n, k, trials = 6, 3, 40000
+	p := core.MustNew(k)
+	mean, variance, err := Variance(p, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if variance <= 0 {
+		t.Fatalf("variance %v", variance)
+	}
+	var sum, sumsq float64
+	for i := 0; i < trials; i++ {
+		res, err := harness.RunTrial(harness.TrialSpec{
+			N: n, K: k, Seed: rng.StreamSeed(0xabc, uint64(i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := float64(res.Interactions)
+		sum += x
+		sumsq += x * x
+	}
+	sampleMean := sum / trials
+	sampleVar := (sumsq - sum*sum/trials) / (trials - 1)
+	// Sample variance of a heavy-ish distribution converges slowly; allow
+	// 10% relative error at 40k trials.
+	if math.Abs(sampleVar-variance) > 0.10*variance {
+		t.Errorf("exact var %.2f vs sample var %.2f (mean exact %.2f sample %.2f)",
+			variance, sampleVar, mean, sampleMean)
+	}
+	if std := math.Sqrt(variance); std < 0.3*mean {
+		t.Errorf("expected heavy dispersion; std %.2f vs mean %.2f", std, mean)
+	}
+}
+
+// For leader election the variance also has a closed form: T = Σ T_j with
+// independent geometric stage times, Var = Σ (1−p_j)/p_j² for
+// p_j = j(j−1)/(n(n−1)). Check the solver against it.
+func TestLeaderElectionVarianceClosedForm(t *testing.T) {
+	p := classic.NewLeaderElection()
+	for n := 3; n <= 8; n++ {
+		_, variance, err := Variance(p, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0.0
+		N := float64(n)
+		for j := 2; j <= n; j++ {
+			pj := float64(j) * float64(j-1) / (N * (N - 1))
+			want += (1 - pj) / (pj * pj)
+		}
+		if math.Abs(variance-want) > 1e-6*want {
+			t.Errorf("n=%d: exact var %v, closed form %v", n, variance, want)
+		}
+	}
+}
+
+// The exact survival curve must (1) be monotone non-increasing from 1,
+// (2) integrate to the expected hitting time (E[T] = Σ_{t>=0} P(T > t)),
+// and (3) match empirical survival frequencies at a few horizons.
+func TestSurvivalCurve(t *testing.T) {
+	const n, k = 6, 3
+	p := core.MustNew(k)
+	ch, err := New(p, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	E, err := ch.HittingTimes(1e-12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxT = 2000
+	surv := ch.Survival(maxT)
+	if surv[0] != 1 {
+		t.Fatalf("P(T>0) = %v, want 1", surv[0])
+	}
+	integral := 0.0
+	for i, s := range surv {
+		if s < -1e-12 || s > 1+1e-9 {
+			t.Fatalf("survival out of [0,1] at %d: %v", i, s)
+		}
+		if i > 0 && s > surv[i-1]+1e-12 {
+			t.Fatalf("survival increased at %d", i)
+		}
+		integral += s
+	}
+	// The truncated sum underestimates E by the tail beyond maxT, which
+	// is tiny at this horizon (E ≈ 30).
+	if math.Abs(integral-E[0]) > 0.01*E[0] {
+		t.Fatalf("∫survival = %v, E = %v", integral, E[0])
+	}
+
+	// Empirical check at t = 30 and t = 100.
+	const trials = 20000
+	var beyond30, beyond100 int
+	for i := 0; i < trials; i++ {
+		res, err := harness.RunTrial(harness.TrialSpec{
+			N: n, K: k, Seed: rng.StreamSeed(0x5f5f, uint64(i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Interactions > 30 {
+			beyond30++
+		}
+		if res.Interactions > 100 {
+			beyond100++
+		}
+	}
+	for _, c := range []struct {
+		horizon int
+		count   int
+	}{{30, beyond30}, {100, beyond100}} {
+		got := float64(c.count) / trials
+		want := surv[c.horizon]
+		se := math.Sqrt(want * (1 - want) / trials)
+		if math.Abs(got-want) > 5*se+1e-9 {
+			t.Errorf("P(T>%d): empirical %.4f vs exact %.4f (5·SE %.4f)", c.horizon, got, want, 5*se)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package population
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+func TestNewAllInitial(t *testing.T) {
+	p := core.MustNew(4)
+	pop := New(p, 10)
+	if pop.N() != 10 {
+		t.Fatalf("N=%d", pop.N())
+	}
+	if pop.Count(p.Initial()) != 10 {
+		t.Fatalf("initial count %d", pop.Count(p.Initial()))
+	}
+	for i := 0; i < 10; i++ {
+		if pop.State(i) != p.Initial() {
+			t.Fatalf("agent %d in state %d", i, pop.State(i))
+		}
+	}
+	if pop.Interactions() != 0 || pop.Productive() != 0 {
+		t.Fatal("fresh population has nonzero counters")
+	}
+}
+
+func TestNewPanicsTiny(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(p,1) did not panic")
+		}
+	}()
+	New(core.MustNew(3), 1)
+}
+
+func TestFromStates(t *testing.T) {
+	p := core.MustNew(3)
+	states := []protocol.State{p.G(1), p.G(2), p.Initial(), p.Initial()}
+	pop := FromStates(p, states)
+	if pop.Count(p.G(1)) != 1 || pop.Count(p.Initial()) != 2 {
+		t.Fatalf("counts wrong: %v", pop.Counts())
+	}
+	// The input slice must be copied, not aliased.
+	states[0] = p.G(2)
+	if pop.State(0) != p.G(1) {
+		t.Fatal("FromStates aliases caller slice")
+	}
+}
+
+func TestFromStatesRejectsOutOfRange(t *testing.T) {
+	p := core.MustNew(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range state accepted")
+		}
+	}()
+	FromStates(p, []protocol.State{0, 99})
+}
+
+func TestInteractAppliesRule(t *testing.T) {
+	p := core.MustNew(3)
+	pop := FromStates(p, []protocol.State{p.Initial(), p.InitialBar(), p.Initial()})
+	changed := pop.Interact(0, 1) // rule 5: (initial, initial') -> (g1, m2)
+	if !changed {
+		t.Fatal("rule 5 reported unchanged")
+	}
+	if pop.State(0) != p.G(1) || pop.State(1) != p.M(2) {
+		t.Fatalf("states after rule 5: %d %d", pop.State(0), pop.State(1))
+	}
+	if pop.Count(p.G(1)) != 1 || pop.Count(p.M(2)) != 1 || pop.Count(p.Initial()) != 1 {
+		t.Fatalf("counts desynced: %v", pop.Counts())
+	}
+	if pop.Interactions() != 1 || pop.Productive() != 1 {
+		t.Fatalf("counters: %d %d", pop.Interactions(), pop.Productive())
+	}
+}
+
+func TestInteractNull(t *testing.T) {
+	p := core.MustNew(3)
+	pop := FromStates(p, []protocol.State{p.G(1), p.G(2), p.G(3)})
+	if pop.Interact(0, 1) {
+		t.Fatal("null interaction reported change")
+	}
+	if pop.Interactions() != 1 || pop.Productive() != 0 {
+		t.Fatalf("counters after null: %d %d", pop.Interactions(), pop.Productive())
+	}
+}
+
+func TestInteractSelfPanics(t *testing.T) {
+	p := core.MustNew(3)
+	pop := New(p, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-interaction did not panic")
+		}
+	}()
+	pop.Interact(2, 2)
+}
+
+func TestGroupSizesAndSpread(t *testing.T) {
+	p := core.MustNew(4)
+	// g1, g1, g2, m3 (group 3), initial (group 1); group 4 empty.
+	pop := FromStates(p, []protocol.State{p.G(1), p.G(1), p.G(2), p.M(3), p.Initial()})
+	sizes := pop.GroupSizes()
+	want := []int{3, 1, 1, 0}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("GroupSizes = %v, want %v", sizes, want)
+		}
+	}
+	if pop.Spread() != 3 {
+		t.Fatalf("Spread = %d, want 3", pop.Spread())
+	}
+}
+
+func TestSnapshotIndependent(t *testing.T) {
+	p := core.MustNew(3)
+	pop := New(p, 5)
+	snap := pop.Snapshot()
+	pop.Interact(0, 1)
+	if snap[0] != p.Initial() {
+		t.Fatal("snapshot mutated by later interaction")
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	p := core.MustNew(3)
+	pop := New(p, 6)
+	pop.Interact(0, 1) // rule 1
+	cl := pop.Clone()
+	if cl.Interactions() != 1 {
+		t.Fatal("clone lost counters")
+	}
+	pop.Interact(2, 3)
+	if cl.Interactions() != 1 || cl.State(2) != p.Initial() {
+		t.Fatal("clone shares state with original")
+	}
+}
+
+func TestResetRestoresInitial(t *testing.T) {
+	p := core.MustNew(4)
+	pop := New(p, 8)
+	r := rng.New(5)
+	for i := 0; i < 100; i++ {
+		a, b := r.Pair(8)
+		pop.Interact(a, b)
+	}
+	pop.Reset()
+	if pop.Count(p.Initial()) != 8 || pop.Interactions() != 0 || pop.Productive() != 0 {
+		t.Fatalf("Reset incomplete: %v %d", pop.Counts(), pop.Interactions())
+	}
+}
+
+func TestStringRendersCounts(t *testing.T) {
+	p := core.MustNew(3)
+	pop := FromStates(p, []protocol.State{p.G(1), p.G(1), p.M(2)})
+	s := pop.String()
+	if !strings.Contains(s, "g1:2") || !strings.Contains(s, "m2:1") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// Property: counts always equal the histogram of states, and their sum is
+// n, under arbitrary random interaction sequences.
+func TestCountsStayConsistent(t *testing.T) {
+	p := core.MustNew(5)
+	f := func(seed uint64) bool {
+		pop := New(p, 15)
+		r := rng.New(seed)
+		for i := 0; i < 500; i++ {
+			a, b := r.Pair(15)
+			pop.Interact(a, b)
+		}
+		hist := make([]int, p.NumStates())
+		for i := 0; i < pop.N(); i++ {
+			hist[pop.State(i)]++
+		}
+		total := 0
+		for s, c := range pop.Counts() {
+			if hist[s] != c {
+				return false
+			}
+			total += c
+		}
+		return total == 15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Interactions == Productive + nulls, and Productive only grows
+// on actual changes.
+func TestCounterAccounting(t *testing.T) {
+	p := core.MustNew(4)
+	pop := New(p, 9)
+	r := rng.New(77)
+	var productive uint64
+	for i := 0; i < 2000; i++ {
+		a, b := r.Pair(9)
+		before0, before1 := pop.State(a), pop.State(b)
+		changed := pop.Interact(a, b)
+		if changed != (pop.State(a) != before0 || pop.State(b) != before1) {
+			t.Fatal("Interact return value inconsistent with state change")
+		}
+		if changed {
+			productive++
+		}
+	}
+	if pop.Productive() != productive || pop.Interactions() != 2000 {
+		t.Fatalf("counters %d/%d, want %d/2000", pop.Productive(), pop.Interactions(), productive)
+	}
+}
+
+func BenchmarkInteract(b *testing.B) {
+	p := core.MustNew(8)
+	pop := New(p, 960)
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, y := r.Pair(960)
+		pop.Interact(x, y)
+	}
+}

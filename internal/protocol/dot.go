@@ -1,0 +1,55 @@
+package protocol
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDot renders a protocol's non-null transition structure as a
+// Graphviz digraph: one node per state (labelled, colored by group), one
+// edge per ordered rule (p,q)→(p',q') drawn as p → p' annotated with the
+// partner states. Useful for eyeballing small protocols and for the
+// paper-style figure of Algorithm 1's state machine.
+func WriteDot(w io.Writer, p Protocol) error {
+	var sb strings.Builder
+	sb.WriteString("digraph \"")
+	sb.WriteString(escapeDot(p.Name()))
+	sb.WriteString("\" {\n  rankdir=LR;\n  node [shape=ellipse, style=filled];\n")
+	for s := 0; s < p.NumStates(); s++ {
+		fill := groupColor(p.Group(State(s)), p.NumGroups())
+		shape := ""
+		if State(s) == p.InitialState() {
+			shape = ", shape=doublecircle"
+		}
+		fmt.Fprintf(&sb, "  s%d [label=\"%s\\n(g%d)\", fillcolor=\"%s\"%s];\n",
+			s, escapeDot(p.StateName(State(s))), p.Group(State(s)), fill, shape)
+	}
+	for _, r := range Rules(p) {
+		if r.From.P != r.To.P {
+			fmt.Fprintf(&sb, "  s%d -> s%d [label=\"with %s\"];\n",
+				r.From.P, r.To.P, escapeDot(p.StateName(r.From.Q)))
+		}
+		if r.From.Q != r.To.Q {
+			fmt.Fprintf(&sb, "  s%d -> s%d [label=\"with %s\", style=dashed];\n",
+				r.From.Q, r.To.Q, escapeDot(p.StateName(r.From.P)))
+		}
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func escapeDot(s string) string {
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// groupColor assigns each group a distinct HSV hue (Graphviz accepts
+// "H,S,V" color strings in [0,1]).
+func groupColor(group, k int) string {
+	if k <= 0 {
+		k = 1
+	}
+	h := float64(group-1) / float64(k)
+	return fmt.Sprintf("%.3f,0.25,1.0", h)
+}

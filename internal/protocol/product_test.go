@@ -1,0 +1,136 @@
+package protocol_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/population"
+	"repro/internal/protocol"
+	"repro/internal/protocols/bipartition"
+	"repro/internal/protocols/classic"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func TestProductStructure(t *testing.T) {
+	a := bipartition.New()
+	b := classic.NewRumor()
+	p, err := protocol.NewProduct(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumStates() != 4*2 {
+		t.Fatalf("NumStates = %d", p.NumStates())
+	}
+	if err := protocol.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Name(), "×") {
+		t.Fatalf("Name %q", p.Name())
+	}
+	sa, sb := p.Unpack(p.Pack(3, 1))
+	if sa != 3 || sb != 1 {
+		t.Fatalf("pack/unpack: %d %d", sa, sb)
+	}
+	if !strings.Contains(p.StateName(p.Pack(2, 0)), "|") {
+		t.Fatalf("StateName %q", p.StateName(p.Pack(2, 0)))
+	}
+}
+
+func TestProductRejectsOversized(t *testing.T) {
+	big := core.MustNew(1000) // 2998 states
+	if _, err := protocol.NewProduct(big, big); err == nil {
+		t.Fatal("oversized product accepted")
+	}
+}
+
+// Both components must advance simultaneously and independently: running
+// bipartition × rumor partitions the population AND spreads the rumor.
+func TestProductRunsBothComponents(t *testing.T) {
+	bp := bipartition.New()
+	ru := classic.NewRumor()
+	p, err := protocol.NewProduct(bp, ru)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 agents; one of them additionally knows the rumor.
+	states := make([]protocol.State, 10)
+	for i := range states {
+		states[i] = p.Pack(bipartition.Initial, 1 /* susceptible */)
+	}
+	states[0] = p.Pack(bipartition.Initial, 0 /* informed */)
+	pop := population.FromStates(p, states)
+
+	done := sim.NewCountsPredicate(func(counts []int) bool {
+		// Bipartition component stable AND rumor fully spread.
+		free, informed := 0, 0
+		for s, c := range counts {
+			if c == 0 {
+				continue
+			}
+			sa, sb := p.Unpack(protocol.State(s))
+			if sa == bipartition.Initial || sa == bipartition.InitialBar {
+				free += c
+			}
+			if sb == 0 {
+				informed += c
+			}
+		}
+		return free == 0 && informed == 10
+	})
+	res, err := sim.Run(pop, sched.NewRandom(9), done, sim.Options{MaxInteractions: 5_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("product never converged: %v", res.FinalCounts)
+	}
+	// Output defaults to the first component: a uniform bipartition.
+	if res.Spread() > 1 {
+		t.Fatalf("bipartition component spread %d: %v", res.Spread(), res.GroupSizes)
+	}
+}
+
+func TestProductOutputSelection(t *testing.T) {
+	bp := bipartition.New()
+	ru := classic.NewRumor()
+	p, err := protocol.NewProduct(bp, ru)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Pack(bipartition.B /* group 2 */, 0 /* informed, group 1 */)
+	if p.Group(s) != 2 {
+		t.Fatalf("default output: group %d", p.Group(s))
+	}
+	p.SetOutput(1)
+	if p.Group(s) != 1 || p.NumGroups() != ru.NumGroups() {
+		t.Fatalf("component-1 output: group %d, k %d", p.Group(s), p.NumGroups())
+	}
+	p.SetOutput(0)
+	if p.Group(s) != 2 {
+		t.Fatal("switching back failed")
+	}
+}
+
+// Symmetry: product of two symmetric protocols is symmetric; product with
+// an asymmetric component is not.
+func TestProductSymmetry(t *testing.T) {
+	bp := bipartition.New()
+	kp := core.MustNew(3)
+	sym, err := protocol.NewProduct(bp, kp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := protocol.CheckSymmetric(sym); !ok {
+		t.Fatal("product of symmetric protocols not symmetric")
+	}
+	le := classic.NewLeaderElection()
+	asym, err := protocol.NewProduct(bp, le)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := protocol.CheckSymmetric(asym); ok {
+		t.Fatal("product with leader election reported symmetric")
+	}
+}

@@ -1,0 +1,118 @@
+// Package bipartition implements the four-state symmetric uniform
+// bipartition protocol with designated initial states under global
+// fairness (Yasumi, Ooshita, Yamaguchi, Inoue; OPODIS 2017) — the k = 2
+// special case the paper builds on, and provably space-optimal for
+// symmetric protocols in that setting.
+//
+// States: initial, initial', r (group 1), b (group 2). Rules:
+//
+//	(initial,  initial)  -> (initial', initial')
+//	(initial', initial') -> (initial,  initial)
+//	(initial,  initial') -> (r, b)
+//	(x, ini) -> (x, ini-flipped)   for x in {r, b}
+//
+// Section 4 of the k-partition paper notes its protocol coincides with
+// this one at k = 2; the package exists as an independent implementation
+// so tests can cross-validate the generated k = 2 table rule-for-rule
+// against hand-written prior work.
+package bipartition
+
+import "repro/internal/protocol"
+
+// State indices of the four states.
+const (
+	Initial    protocol.State = 0
+	InitialBar protocol.State = 1
+	R          protocol.State = 2 // group 1
+	B          protocol.State = 3 // group 2
+)
+
+// Protocol is the four-state bipartition protocol.
+type Protocol struct {
+	*protocol.Table
+}
+
+// New constructs the protocol.
+func New() *Protocol {
+	b := protocol.NewBuilder("uniform-bipartition", true)
+	ini := b.AddState("initial", 1)
+	bar := b.AddState("initial'", 1)
+	r := b.AddState("r", 1)
+	bb := b.AddState("b", 2)
+	b.SetInitial(ini)
+	b.AddRule(ini, ini, bar, bar)
+	b.AddRule(bar, bar, ini, ini)
+	b.AddRule(ini, bar, r, bb)
+	for _, g := range []protocol.State{r, bb} {
+		b.AddRule(g, ini, g, bar)
+		b.AddRule(g, bar, g, ini)
+	}
+	return &Protocol{Table: b.MustBuild()}
+}
+
+// IsFree reports whether s is initial or initial'.
+func (p *Protocol) IsFree(s protocol.State) bool { return s <= 1 }
+
+// CanonMap merges initial/initial' into slot 0 for stability detection
+// (the leftover agent of an odd population flips between them forever).
+func (p *Protocol) CanonMap() []int { return []int{0, 0, 1, 2} }
+
+// TargetCounts returns the canonical stable signature for n agents:
+// ⌈n/2⌉−(n mod 2) agents in r, ⌊n/2⌋ in b, and the leftover (if any) free.
+// Group 1 = r-agents plus the leftover, so sizes are ⌈n/2⌉ and ⌊n/2⌋.
+func (p *Protocol) TargetCounts(n int) []int {
+	t := make([]int, 3)
+	t[1] = n / 2
+	t[2] = n / 2
+	if n%2 == 1 {
+		t[0] = 1
+	}
+	return t
+}
+
+// Asymmetric3 is the three-state ASYMMETRIC uniform bipartition protocol —
+// the other space bound of Yasumi et al. (OPODIS 2017): dropping the
+// symmetry restriction saves the initial/initial' handshake, because a
+// single asymmetric rule can split two identical agents directly:
+//
+//	(initial, initial) -> (r, b)
+//
+// r and b are absorbing; an odd population leaves one agent in initial
+// forever (group 1, like r). Three states, correct under mere weak
+// fairness — the comparison point that shows what the paper's symmetry
+// restriction costs (4 vs 3 states for k = 2).
+type Asymmetric3 struct {
+	*protocol.Table
+}
+
+// A3Initial, A3R and A3B are the state indices of Asymmetric3.
+const (
+	A3Initial protocol.State = 0
+	A3R       protocol.State = 1 // group 1
+	A3B       protocol.State = 2 // group 2
+)
+
+// NewAsymmetric3 constructs the protocol.
+func NewAsymmetric3() *Asymmetric3 {
+	b := protocol.NewBuilder("uniform-bipartition-asym3", false)
+	ini := b.AddState("initial", 1)
+	b.AddState("r", 1)
+	b.AddState("b", 2)
+	b.SetInitial(ini)
+	b.AddRule(A3Initial, A3Initial, A3R, A3B)
+	return &Asymmetric3{Table: b.MustBuild()}
+}
+
+// TargetCounts returns the stable signature: ⌊n/2⌋ each of r and b plus
+// the odd leftover in initial. The stable configuration is quiescent (no
+// parity handshake exists), so CanonMap is the identity.
+func (p *Asymmetric3) TargetCounts(n int) []int {
+	t := make([]int, 3)
+	t[0] = n % 2
+	t[1] = n / 2
+	t[2] = n / 2
+	return t
+}
+
+// CanonMap is the identity mapping (three slots).
+func (p *Asymmetric3) CanonMap() []int { return []int{0, 1, 2} }

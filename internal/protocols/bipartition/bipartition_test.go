@@ -1,0 +1,173 @@
+package bipartition
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/population"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func TestFourStates(t *testing.T) {
+	p := New()
+	if p.NumStates() != 4 {
+		t.Fatalf("NumStates = %d, want 4 (space-optimal per OPODIS 2017)", p.NumStates())
+	}
+	if p.NumGroups() != 2 {
+		t.Fatalf("NumGroups = %d", p.NumGroups())
+	}
+	if err := protocol.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := protocol.CheckSymmetric(p); !ok {
+		t.Fatal("bipartition protocol not symmetric")
+	}
+}
+
+// Cross-validate against the k = 2 instance of the paper's protocol:
+// Section 4 says they are exactly the same protocol. Compare δ pointwise
+// under the state correspondence (initial, initial', g1, g2) ~
+// (initial, initial', r, b).
+func TestMatchesKPartitionAtK2(t *testing.T) {
+	bp := New()
+	kp := core.MustNew(2)
+	if bp.NumStates() != kp.NumStates() {
+		t.Fatalf("state counts differ: %d vs %d", bp.NumStates(), kp.NumStates())
+	}
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			ob, _ := bp.Delta(protocol.State(a), protocol.State(b))
+			ok, _ := kp.Delta(protocol.State(a), protocol.State(b))
+			if ob != ok {
+				t.Errorf("delta(%d,%d): bipartition (%d,%d) vs k-partition (%d,%d)",
+					a, b, ob.P, ob.Q, ok.P, ok.Q)
+			}
+		}
+	}
+	for s := 0; s < 4; s++ {
+		if bp.Group(protocol.State(s)) != kp.Group(protocol.State(s)) {
+			t.Errorf("f(%d) differs", s)
+		}
+	}
+}
+
+func TestStabilizesEvenOdd(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 6, 11, 20, 33} {
+		p := New()
+		pop := population.New(p, n)
+		stop := sim.NewCountTarget(p.CanonMap(), p.TargetCounts(n))
+		res, err := sim.Run(pop, sched.NewRandom(rng.StreamSeed(2, uint64(n))), stop,
+			sim.Options{MaxInteractions: 10_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("n=%d did not stabilize", n)
+		}
+		sizes := res.GroupSizes
+		if sizes[0] != (n+1)/2 || sizes[1] != n/2 {
+			t.Fatalf("n=%d: group sizes %v, want [%d %d]", n, sizes, (n+1)/2, n/2)
+		}
+	}
+}
+
+func TestTheorem1ExhaustiveBipartition(t *testing.T) {
+	for n := 3; n <= 12; n++ {
+		rep, err := explore.Check(New(), n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.LiveFromAll || !rep.Uniform || rep.Stable == 0 {
+			t.Fatalf("n=%d: live=%v uniform=%v stable=%d", n, rep.LiveFromAll, rep.Uniform, rep.Stable)
+		}
+	}
+}
+
+func TestIsFree(t *testing.T) {
+	p := New()
+	if !p.IsFree(Initial) || !p.IsFree(InitialBar) || p.IsFree(R) || p.IsFree(B) {
+		t.Fatal("IsFree misclassifies")
+	}
+}
+
+func TestTargetCounts(t *testing.T) {
+	p := New()
+	even := p.TargetCounts(8)
+	if even[0] != 0 || even[1] != 4 || even[2] != 4 {
+		t.Fatalf("n=8 target %v", even)
+	}
+	odd := p.TargetCounts(9)
+	if odd[0] != 1 || odd[1] != 4 || odd[2] != 4 {
+		t.Fatalf("n=9 target %v", odd)
+	}
+}
+
+func TestAsymmetric3Structure(t *testing.T) {
+	p := NewAsymmetric3()
+	if p.NumStates() != 3 {
+		t.Fatalf("NumStates = %d, want 3", p.NumStates())
+	}
+	if err := protocol.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	// It must be asymmetric (that is the point): the diagonal rule splits.
+	if _, ok := protocol.CheckSymmetric(p); ok {
+		t.Fatal("asymmetric protocol reported symmetric")
+	}
+	out, fired := p.Delta(A3Initial, A3Initial)
+	if !fired || out.P != A3R || out.Q != A3B {
+		t.Fatalf("split rule: %v", out)
+	}
+}
+
+func TestAsymmetric3Stabilizes(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 10, 31} {
+		p := NewAsymmetric3()
+		pop := population.New(p, n)
+		stop := sim.NewCountTarget(p.CanonMap(), p.TargetCounts(n))
+		res, err := sim.Run(pop, sched.NewRandom(rng.StreamSeed(8, uint64(n))), stop,
+			sim.Options{MaxInteractions: 5_000_000})
+		if err != nil || !res.Converged {
+			t.Fatalf("n=%d: %v %+v", n, err, res)
+		}
+		if res.GroupSizes[0] != (n+1)/2 || res.GroupSizes[1] != n/2 {
+			t.Fatalf("n=%d: sizes %v", n, res.GroupSizes)
+		}
+		// Quiescent at stability (no handshake residue).
+		q := sim.NewQuiescence(p)
+		q.Init(pop)
+		if !q.Satisfied() {
+			t.Fatalf("n=%d: stable configuration not quiescent", n)
+		}
+	}
+}
+
+// Theorem-1-style exhaustive verification for the 3-state variant: every
+// reachable configuration reaches a uniform frozen one.
+func TestAsymmetric3Exhaustive(t *testing.T) {
+	for n := 2; n <= 12; n++ {
+		rep, err := explore.Check(NewAsymmetric3(), n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.LiveFromAll || !rep.Uniform || rep.Stable == 0 {
+			t.Fatalf("n=%d: live=%v uniform=%v stable=%d", n, rep.LiveFromAll, rep.Uniform, rep.Stable)
+		}
+	}
+}
+
+// Unlike the symmetric protocol, the asymmetric variant solves n = 2
+// (no symmetry to break).
+func TestAsymmetric3SolvesN2(t *testing.T) {
+	rep, err := explore.Check(NewAsymmetric3(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.LiveFromAll || !rep.Uniform {
+		t.Fatal("asymmetric bipartition failed at n=2")
+	}
+}

@@ -1,0 +1,80 @@
+// Package classic provides well-known building-block population protocols
+// the paper cites as context (leader election, majority). They make the
+// framework a general-purpose population-protocols library and give the
+// test suite protocols with different structure than the partition family:
+// asymmetric rules, input-dependent initial configurations, and
+// convergence notions other than a closed-form count signature.
+package classic
+
+import "repro/internal/protocol"
+
+// LeaderStates for the pairwise leader-election protocol.
+const (
+	Leader   protocol.State = 0
+	Follower protocol.State = 1
+)
+
+// NewLeaderElection returns the classic two-state leader election protocol
+// with designated initial state "leader": (L, L) -> (L, F). Every agent
+// starts a leader; encounters between leaders demote one of them, so
+// exactly one leader survives. The demotion rule is asymmetric — the
+// canonical example of a problem unsolvable by symmetric protocols, in
+// contrast to the paper's protocol class.
+//
+// Group mapping: leaders are group 1, followers group 2 (so a "partition"
+// view of the output is available, though sizes are 1 and n−1).
+func NewLeaderElection() *protocol.Table {
+	b := protocol.NewBuilder("leader-election", false)
+	l := b.AddState("leader", 1)
+	f := b.AddState("follower", 2)
+	b.SetInitial(l)
+	b.AddRule(l, l, l, f)
+	_ = f
+	return b.MustBuild()
+}
+
+// Majority states for the 3-state approximate majority protocol.
+const (
+	MajX     protocol.State = 0 // opinion x
+	MajY     protocol.State = 1 // opinion y
+	MajBlank protocol.State = 2 // undecided
+)
+
+// NewApproxMajority returns the three-state approximate majority protocol
+// of Angluin, Aspnes and Eisenstat (Distributed Computing 2008):
+//
+//	(x, y) -> (x, blank)     (y, x) -> (y, blank)
+//	(x, blank) -> (x, x)     (y, blank) -> (y, y)
+//
+// Initial configurations carry the input: each agent starts in x or y
+// (build them with population.FromStates). With high probability the
+// population converges to the initial majority opinion. Group 1 = x-side,
+// group 2 = y-side; blanks count toward group 1 by f, though runs are
+// normally stopped at consensus when no blanks remain.
+func NewApproxMajority() *protocol.Table {
+	b := protocol.NewBuilder("approximate-majority", false)
+	x := b.AddState("x", 1)
+	y := b.AddState("y", 2)
+	bl := b.AddState("blank", 1)
+	b.SetInitial(x)
+	// One-way rules: the initiator converts the responder, so (x, y) and
+	// (y, x) coexist without contradiction.
+	b.AddOrderedRule(x, y, x, bl)
+	b.AddOrderedRule(y, x, y, bl)
+	b.AddOrderedRule(x, bl, x, x)
+	b.AddOrderedRule(y, bl, y, y)
+	return b.MustBuild()
+}
+
+// NewRumor returns the one-way epidemic ("rumor spreading") protocol:
+// (informed, susceptible) -> (informed, informed). It is the standard
+// warm-up protocol of the population-protocol literature and gives tests a
+// protocol with monotone state counts. Group 1 = informed, group 2 = not.
+func NewRumor() *protocol.Table {
+	b := protocol.NewBuilder("rumor", false)
+	inf := b.AddState("informed", 1)
+	sus := b.AddState("susceptible", 2)
+	b.SetInitial(sus)
+	b.AddRule(inf, sus, inf, inf)
+	return b.MustBuild()
+}

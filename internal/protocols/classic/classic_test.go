@@ -1,0 +1,168 @@
+package classic
+
+import (
+	"testing"
+
+	"repro/internal/population"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func TestLeaderElectionStructure(t *testing.T) {
+	p := NewLeaderElection()
+	if p.NumStates() != 2 {
+		t.Fatalf("NumStates = %d", p.NumStates())
+	}
+	if err := protocol.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	// The demotion rule must be asymmetric — the point of including it.
+	if _, ok := protocol.CheckSymmetric(p); ok {
+		t.Fatal("leader election reported symmetric")
+	}
+}
+
+func TestLeaderElectionConverges(t *testing.T) {
+	p := NewLeaderElection()
+	for _, n := range []int{2, 3, 10, 100} {
+		pop := population.New(p, n)
+		stop := sim.NewCountsPredicate(func(c []int) bool { return c[Leader] == 1 })
+		res, err := sim.Run(pop, sched.NewRandom(rng.StreamSeed(6, uint64(n))), stop,
+			sim.Options{MaxInteractions: 10_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("n=%d: never reached a single leader", n)
+		}
+		if pop.Count(Leader) != 1 || pop.Count(Follower) != n-1 {
+			t.Fatalf("n=%d: leaders=%d followers=%d", n, pop.Count(Leader), pop.Count(Follower))
+		}
+	}
+}
+
+// The leader count is monotone non-increasing and never reaches zero.
+func TestLeaderCountMonotone(t *testing.T) {
+	p := NewLeaderElection()
+	pop := population.New(p, 50)
+	last := 50
+	hook := sim.StepFunc(func(pop *population.Population, s sim.StepInfo) {
+		c := pop.Count(Leader)
+		if c > last || c == 0 {
+			t.Fatalf("leader count went %d -> %d", last, c)
+		}
+		last = c
+	})
+	if _, err := sim.Run(pop, sched.NewRandom(2), sim.After{N: 50000},
+		sim.Options{Hooks: []sim.Hook{hook}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApproxMajorityStructure(t *testing.T) {
+	p := NewApproxMajority()
+	if p.NumStates() != 3 {
+		t.Fatalf("NumStates = %d", p.NumStates())
+	}
+	if err := protocol.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApproxMajorityConvergesToMajority(t *testing.T) {
+	p := NewApproxMajority()
+	// 70 x vs 30 y: x must win with overwhelming probability; the seed is
+	// fixed so the test is deterministic.
+	states := make([]protocol.State, 100)
+	for i := range states {
+		if i < 70 {
+			states[i] = MajX
+		} else {
+			states[i] = MajY
+		}
+	}
+	pop := population.FromStates(p, states)
+	consensus := sim.NewCountsPredicate(func(c []int) bool {
+		return (c[MajX] == 0 && c[MajBlank] == 0) || (c[MajY] == 0 && c[MajBlank] == 0)
+	})
+	res, err := sim.Run(pop, sched.NewRandom(123), consensus, sim.Options{MaxInteractions: 10_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("no consensus reached")
+	}
+	if pop.Count(MajX) != 100 {
+		t.Fatalf("majority lost: x=%d y=%d blank=%d", pop.Count(MajX), pop.Count(MajY), pop.Count(MajBlank))
+	}
+}
+
+func TestApproxMajorityTieBreaks(t *testing.T) {
+	p := NewApproxMajority()
+	states := make([]protocol.State, 20)
+	for i := range states {
+		if i%2 == 0 {
+			states[i] = MajX
+		} else {
+			states[i] = MajY
+		}
+	}
+	pop := population.FromStates(p, states)
+	consensus := sim.NewCountsPredicate(func(c []int) bool {
+		return (c[MajX] == 0 && c[MajBlank] == 0) || (c[MajY] == 0 && c[MajBlank] == 0)
+	})
+	res, err := sim.Run(pop, sched.NewRandom(5), consensus, sim.Options{MaxInteractions: 10_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("tie never broken")
+	}
+	if got := pop.Count(MajX) + pop.Count(MajY); got != 20 {
+		t.Fatalf("agents lost: %d", got)
+	}
+}
+
+func TestRumorSpreadsToAll(t *testing.T) {
+	p := NewRumor()
+	if err := protocol.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	states := make([]protocol.State, 64)
+	for i := range states {
+		states[i] = 1 // susceptible
+	}
+	states[0] = 0 // one informed agent
+	pop := population.FromStates(p, states)
+	stop := sim.NewCountsPredicate(func(c []int) bool { return c[1] == 0 })
+	res, err := sim.Run(pop, sched.NewRandom(8), stop, sim.Options{MaxInteractions: 1_000_000})
+	if err != nil || !res.Converged {
+		t.Fatalf("rumor did not spread: %v %+v", err, res)
+	}
+	// Coupon-collector-ish lower bound sanity: spreading to 64 agents
+	// needs at least 63 productive interactions.
+	if res.Productive < 63 {
+		t.Fatalf("impossible productive count %d", res.Productive)
+	}
+}
+
+func TestRumorNeverForgets(t *testing.T) {
+	p := NewRumor()
+	states := make([]protocol.State, 10)
+	for i := range states {
+		states[i] = 1
+	}
+	states[3] = 0
+	pop := population.FromStates(p, states)
+	hook := sim.StepFunc(func(pop *population.Population, s sim.StepInfo) {
+		if pop.State(3) != 0 {
+			t.Fatal("informed agent forgot the rumor")
+		}
+	})
+	if _, err := sim.Run(pop, sched.NewRandom(1), sim.After{N: 10000},
+		sim.Options{Hooks: []sim.Hook{hook}}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,240 @@
+package classic
+
+import (
+	"fmt"
+
+	"repro/internal/protocol"
+)
+
+// This file adds the remaining building-block problems the paper's related
+// work section surveys: counting (Beauquier et al. style, with a base
+// station) and threshold/flock-size predicates (Angluin et al.). Both
+// depart from the paper's designated-initial-state symmetric setting —
+// counting needs one distinguished agent, thresholds use one-way rules —
+// which is precisely why they are useful in tests: they exercise framework
+// paths the k-partition protocol does not.
+
+// Counting returns a base-station counting protocol for populations of at
+// most maxN counted agents.
+//
+// State layout: 0..maxN are base-station states B_c ("c agents counted so
+// far"); maxN+1 is "marked" (an uncounted agent); maxN+2 is "counted".
+// The single base station must be placed explicitly (the designated
+// initial state is "marked", so build configurations with
+// population.FromStates putting exactly one agent in Base(0)).
+//
+// Rule: (B_c, marked) → (B_(c+1), counted). Each agent is counted exactly
+// once, so the base station's value converges to the number of marked
+// agents, and never overshoots.
+type Counting struct {
+	*protocol.Table
+	maxN int
+}
+
+// NewCounting builds the protocol. maxN must be >= 1.
+func NewCounting(maxN int) (*Counting, error) {
+	if maxN < 1 {
+		return nil, fmt.Errorf("classic: counting needs maxN >= 1, got %d", maxN)
+	}
+	if maxN+3 > protocol.MaxStates {
+		return nil, fmt.Errorf("classic: counting maxN %d exceeds state budget", maxN)
+	}
+	c := &Counting{maxN: maxN}
+	b := protocol.NewBuilder(fmt.Sprintf("counting-%d", maxN), false)
+	for i := 0; i <= maxN; i++ {
+		b.AddState(fmt.Sprintf("B%d", i), 1)
+	}
+	marked := b.AddState("marked", 2)
+	b.AddState("counted", 2)
+	b.SetInitial(marked)
+	for i := 0; i < maxN; i++ {
+		b.AddOrderedRule(c.Base(i), marked, c.Base(i+1), c.Counted())
+		// Mirror installed explicitly: counting is order-independent.
+		b.AddOrderedRule(marked, c.Base(i), c.Counted(), c.Base(i+1))
+	}
+	tab, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	c.Table = tab
+	return c, nil
+}
+
+// Base returns the state index of base-station value c.
+func (c *Counting) Base(v int) protocol.State {
+	if v < 0 || v > c.maxN {
+		panic(fmt.Sprintf("classic: base value %d out of [0,%d]", v, c.maxN))
+	}
+	return protocol.State(v)
+}
+
+// Marked returns the uncounted-agent state.
+func (c *Counting) Marked() protocol.State { return protocol.State(c.maxN + 1) }
+
+// Counted returns the counted-agent state.
+func (c *Counting) Counted() protocol.State { return protocol.State(c.maxN + 2) }
+
+// Value extracts the base station's current count from a count vector,
+// and whether exactly one base station exists.
+func (c *Counting) Value(counts []int) (int, bool) {
+	value, bases := 0, 0
+	for v := 0; v <= c.maxN; v++ {
+		if n := counts[c.Base(v)]; n > 0 {
+			bases += n
+			value = v
+		}
+	}
+	return value, bases == 1
+}
+
+// Threshold returns the flock-size detection protocol: decide whether the
+// population contains at least `c` agents (the predicate n >= c, one of
+// the semilinear predicates of Angluin et al.). Every agent starts with
+// weight 1; when two agents meet, the initiator absorbs the responder's
+// weight, saturating at c. Output: an agent outputs "yes" (group 2) iff
+// its weight is c, "no" (group 1) otherwise; once any agent saturates, the
+// yes-value spreads by the same absorption rule... saturated agents keep
+// their weight, so the maximum weight is monotone and stabilizes at
+// min(n, c).
+//
+// States: weight 0..c (0 = absorbed/empty). f(c) = 2, everything else 1.
+type Threshold struct {
+	*protocol.Table
+	c int
+}
+
+// NewThreshold builds the protocol for threshold c >= 2.
+func NewThreshold(c int) (*Threshold, error) {
+	if c < 2 {
+		return nil, fmt.Errorf("classic: threshold needs c >= 2, got %d", c)
+	}
+	if c+2 > protocol.MaxStates {
+		return nil, fmt.Errorf("classic: threshold %d exceeds state budget", c)
+	}
+	t := &Threshold{c: c}
+	b := protocol.NewBuilder(fmt.Sprintf("threshold-%d", c), false)
+	for w := 0; w <= c; w++ {
+		group := 1
+		if w == c {
+			group = 2
+		}
+		b.AddState(fmt.Sprintf("w%d", w), group)
+	}
+	b.SetInitial(protocol.State(1))
+	for a := 1; a <= c; a++ {
+		for bw := 1; bw <= c; bw++ {
+			sum := a + bw
+			if sum > c {
+				sum = c
+			}
+			if a == c {
+				// Saturated initiators stay saturated; responder keeps
+				// its weight (no rule needed beyond identity).
+				continue
+			}
+			b.AddOrderedRule(protocol.State(a), protocol.State(bw),
+				protocol.State(sum), protocol.State(0))
+		}
+	}
+	tab, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	t.Table = tab
+	return t, nil
+}
+
+// C returns the threshold.
+func (t *Threshold) C() int { return t.c }
+
+// Decided reports whether the configuration has converged to an answer:
+// either some agent saturated at c (answer true) or no further merge is
+// possible below c (answer false: all weight on one agent < c). It also
+// returns the answer when decided.
+func (t *Threshold) Decided(counts []int) (decided, answer bool) {
+	if counts[t.c] > 0 {
+		return true, true
+	}
+	carriers := 0
+	for w := 1; w < t.c; w++ {
+		carriers += counts[w]
+	}
+	return carriers <= 1, false
+}
+
+// ModCounter computes n mod m — the remainder predicate family of the
+// semilinear characterization (Angluin et al. 2006). Every agent starts
+// carrying value 1; when two carriers meet, the initiator absorbs the
+// responder's value modulo m and the responder becomes a sink. Exactly
+// one carrier survives, holding n mod m (with m representing 0, so the
+// carrier state is never confused with a sink).
+//
+// States: sink (index 0) and carrier values 1..m (index v). Output groups:
+// carriers of value v map to group v (1..m), sinks to group 1.
+type ModCounter struct {
+	*protocol.Table
+	m int
+}
+
+// NewModCounter builds the protocol for modulus m >= 2.
+func NewModCounter(m int) (*ModCounter, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("classic: mod counter needs m >= 2, got %d", m)
+	}
+	if m+2 > protocol.MaxStates {
+		return nil, fmt.Errorf("classic: modulus %d exceeds state budget", m)
+	}
+	mc := &ModCounter{m: m}
+	b := protocol.NewBuilder(fmt.Sprintf("mod-%d-counter", m), false)
+	b.AddState("sink", 1)
+	for v := 1; v <= m; v++ {
+		b.AddState(fmt.Sprintf("c%d", v), v)
+	}
+	b.SetInitial(mc.Carrier(1))
+	for a := 1; a <= m; a++ {
+		for c := 1; c <= m; c++ {
+			sum := (a + c) % m
+			if sum == 0 {
+				sum = m
+			}
+			b.AddOrderedRule(mc.Carrier(a), mc.Carrier(c), mc.Carrier(sum), mc.Sink())
+		}
+	}
+	tab, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	mc.Table = tab
+	return mc, nil
+}
+
+// M returns the modulus.
+func (mc *ModCounter) M() int { return mc.m }
+
+// Sink returns the absorbed-agent state.
+func (mc *ModCounter) Sink() protocol.State { return 0 }
+
+// Carrier returns the state of a carrier holding value v (1..m, with m
+// standing for 0 mod m).
+func (mc *ModCounter) Carrier(v int) protocol.State {
+	if v < 1 || v > mc.m {
+		panic(fmt.Sprintf("classic: carrier value %d out of [1,%d]", v, mc.m))
+	}
+	return protocol.State(v)
+}
+
+// Result inspects a configuration: done reports that exactly one carrier
+// remains; value is n mod m (0..m−1) when done.
+func (mc *ModCounter) Result(counts []int) (value int, done bool) {
+	carriers, val := 0, 0
+	for v := 1; v <= mc.m; v++ {
+		if c := counts[mc.Carrier(v)]; c > 0 {
+			carriers += c
+			val = v
+		}
+	}
+	if carriers != 1 {
+		return 0, false
+	}
+	return val % mc.m, true
+}

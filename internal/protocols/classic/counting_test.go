@@ -1,0 +1,270 @@
+package classic
+
+import (
+	"testing"
+
+	"repro/internal/population"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func TestCountingValidation(t *testing.T) {
+	if _, err := NewCounting(0); err == nil {
+		t.Fatal("maxN=0 accepted")
+	}
+	if _, err := NewCounting(protocol.MaxStates); err == nil {
+		t.Fatal("oversized maxN accepted")
+	}
+	c, err := NewCounting(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumStates() != 53 {
+		t.Fatalf("NumStates = %d, want 53", c.NumStates())
+	}
+	if err := protocol.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// One base station + m marked agents: the base must converge to exactly m
+// and never overshoot, for several m.
+func TestCountingConverges(t *testing.T) {
+	c, err := NewCounting(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []int{1, 5, 17, 40} {
+		states := make([]protocol.State, m+1)
+		states[0] = c.Base(0)
+		for i := 1; i <= m; i++ {
+			states[i] = c.Marked()
+		}
+		pop := population.FromStates(c, states)
+		overshoot := sim.StepFunc(func(pop *population.Population, s sim.StepInfo) {
+			if v, ok := c.Value(pop.CountsView()); !ok || v > m {
+				t.Fatalf("m=%d: base value %d (unique=%v)", m, v, ok)
+			}
+		})
+		stop := sim.NewCountsPredicate(func(counts []int) bool {
+			v, ok := c.Value(counts)
+			return ok && v == m
+		})
+		res, err := sim.Run(pop, sched.NewRandom(rng.StreamSeed(77, uint64(m))), stop,
+			sim.Options{MaxInteractions: 1_000_000, Hooks: []sim.Hook{overshoot}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("m=%d: base never reached the true count", m)
+		}
+		if pop.Count(c.Marked()) != 0 || pop.Count(c.Counted()) != m {
+			t.Fatalf("m=%d: marked=%d counted=%d", m, pop.Count(c.Marked()), pop.Count(c.Counted()))
+		}
+	}
+}
+
+// The count is stable: once every agent is counted, nothing changes.
+func TestCountingQuiescesAtTruth(t *testing.T) {
+	c, err := NewCounting(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := []protocol.State{c.Base(5), c.Counted(), c.Counted(), c.Counted(), c.Counted(), c.Counted()}
+	pop := population.FromStates(c, states)
+	q := sim.NewQuiescence(c)
+	q.Init(pop)
+	if !q.Satisfied() {
+		t.Fatal("fully-counted configuration not quiescent")
+	}
+}
+
+func TestCountingCodecPanics(t *testing.T) {
+	c, _ := NewCounting(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	c.Base(5)
+}
+
+func TestThresholdValidation(t *testing.T) {
+	if _, err := NewThreshold(1); err == nil {
+		t.Fatal("c=1 accepted")
+	}
+	th, err := NewThreshold(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.C() != 5 || th.NumStates() != 6 { // weights 0..5
+		t.Fatalf("C=%d states=%d", th.C(), th.NumStates())
+	}
+	if err := protocol.Validate(th); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// n >= c must decide true; n < c must decide false — for a grid around
+// the threshold.
+func TestThresholdDecides(t *testing.T) {
+	const c = 6
+	th, err := NewThreshold(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 3, 5, 6, 7, 20} {
+		pop := population.New(th, n)
+		stop := sim.NewCountsPredicate(func(counts []int) bool {
+			decided, _ := th.Decided(counts)
+			return decided
+		})
+		res, err := sim.Run(pop, sched.NewRandom(rng.StreamSeed(88, uint64(n))), stop,
+			sim.Options{MaxInteractions: 1_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("n=%d: never decided", n)
+		}
+		_, answer := th.Decided(pop.Counts())
+		if want := n >= c; answer != want {
+			t.Fatalf("n=%d: decided %v, want %v (counts %v)", n, answer, want, pop.Counts())
+		}
+	}
+}
+
+// Saturation is monotone: once an agent reports "yes" the answer never
+// disappears.
+func TestThresholdMonotone(t *testing.T) {
+	th, err := NewThreshold(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := population.New(th, 12)
+	sawYes := false
+	hook := sim.StepFunc(func(pop *population.Population, s sim.StepInfo) {
+		yes := pop.Count(protocol.State(4)) > 0
+		if sawYes && !yes {
+			t.Fatal("saturated state disappeared")
+		}
+		sawYes = sawYes || yes
+	})
+	if _, err := sim.Run(pop, sched.NewRandom(5), sim.After{N: 100_000},
+		sim.Options{Hooks: []sim.Hook{hook}}); err != nil {
+		t.Fatal(err)
+	}
+	if !sawYes {
+		t.Fatal("n=12 >= 4 never saturated in 100k interactions")
+	}
+}
+
+// Weight bookkeeping: the total carried weight never increases, and only
+// decreases via saturation capping.
+func TestThresholdWeightConservation(t *testing.T) {
+	th, err := NewThreshold(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := population.New(th, 8) // n < c: weight must be conserved exactly
+	weight := func() int {
+		total := 0
+		for w := 1; w <= 10; w++ {
+			total += w * pop.Count(protocol.State(w))
+		}
+		return total
+	}
+	hook := sim.StepFunc(func(pop *population.Population, s sim.StepInfo) {
+		if weight() != 8 {
+			t.Fatalf("weight %d != 8 below the cap", weight())
+		}
+	})
+	if _, err := sim.Run(pop, sched.NewRandom(6), sim.After{N: 50_000},
+		sim.Options{Hooks: []sim.Hook{hook}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModCounterValidation(t *testing.T) {
+	if _, err := NewModCounter(1); err == nil {
+		t.Fatal("m=1 accepted")
+	}
+	mc, err := NewModCounter(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.M() != 5 || mc.NumStates() != 6 {
+		t.Fatalf("M=%d states=%d", mc.M(), mc.NumStates())
+	}
+	if err := protocol.Validate(mc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The surviving carrier must hold exactly n mod m, across remainder
+// classes including n ≡ 0.
+func TestModCounterComputesResidue(t *testing.T) {
+	const m = 5
+	mc, err := NewModCounter(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{5, 7, 10, 12, 13, 24} {
+		pop := population.New(mc, n)
+		stop := sim.NewCountsPredicate(func(counts []int) bool {
+			_, done := mc.Result(counts)
+			return done
+		})
+		res, err := sim.Run(pop, sched.NewRandom(rng.StreamSeed(91, uint64(n))), stop,
+			sim.Options{MaxInteractions: 1_000_000})
+		if err != nil || !res.Converged {
+			t.Fatalf("n=%d: %v %+v", n, err, res)
+		}
+		value, done := mc.Result(pop.Counts())
+		if !done || value != n%m {
+			t.Fatalf("n=%d: computed %d (done=%v), want %d", n, value, done, n%m)
+		}
+	}
+}
+
+// Residue invariant: the sum of carrier values mod m is conserved by
+// every interaction — the correctness core of the protocol, fuzzed along
+// a random execution.
+func TestModCounterConservation(t *testing.T) {
+	const m = 7
+	mc, err := NewModCounter(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 23
+	pop := population.New(mc, n)
+	residue := func() int {
+		total := 0
+		for v := 1; v <= m; v++ {
+			total += v * pop.Count(mc.Carrier(v))
+		}
+		return total % m
+	}
+	want := residue()
+	hook := sim.StepFunc(func(pop *population.Population, s sim.StepInfo) {
+		if residue() != want {
+			t.Fatalf("residue drifted from %d to %d", want, residue())
+		}
+	})
+	if _, err := sim.Run(pop, sched.NewRandom(3), sim.After{N: 50_000},
+		sim.Options{Hooks: []sim.Hook{hook}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModCounterCodecPanics(t *testing.T) {
+	mc, _ := NewModCounter(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	mc.Carrier(5)
+}

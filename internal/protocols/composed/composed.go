@@ -1,0 +1,174 @@
+// Package composed implements the repeated-bipartition protocol for
+// k = 2^h groups: the prior-work approach the paper's introduction
+// discusses ("by repeating the uniform bipartition protocol h times...")
+// and then rejects as hard to generalize.
+//
+// Each agent walks down a complete binary tree of depth h. It starts free
+// at the root; two free agents at the same node with opposite I-parity
+// split into the node's two children (rule 5 of the bipartition protocol),
+// becoming free at the child or settled if the child is a leaf. Free
+// agents flip parity on any other encounter (rules 1, 2, 4).
+//
+// The interesting property — and the reason this is a baseline rather than
+// a solution — is that composition does NOT preserve exact uniformity:
+// every internal node with an odd sub-population strands one free agent
+// whose output defaults to the leftmost leaf of its subtree, so group 1
+// can exceed group k by up to h = log2(k) agents (e.g. n = 7, k = 4 gives
+// sizes 3,1,2,1). Tests pin this gap down; the ablation benches in the
+// repository root quantify it against the paper's exact protocol. The
+// state count is 3k−2, identical to the paper's protocol, making the
+// comparison purely about output quality and convergence time.
+package composed
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/protocol"
+)
+
+// ErrNotPowerOfTwo is returned when k is not 2^h with h >= 1.
+var ErrNotPowerOfTwo = errors.New("composed: k must be a power of two >= 2")
+
+// Protocol is the repeated-bipartition protocol for k = 2^h groups.
+//
+// State encoding uses heap indices over the complete binary tree with k
+// leaves: node 1 is the root, node v has children 2v and 2v+1, nodes
+// k..2k−1 are leaves (leaf v = group v−k+1). States:
+//
+//	internal node v (1 <= v <= k−1), parity 0: index 2(v−1)
+//	internal node v (1 <= v <= k−1), parity 1: index 2(v−1)+1
+//	leaf v (k <= v <= 2k−1):                   index 2(k−1) + (v−k)
+//
+// giving 2(k−1) + k = 3k−2 states.
+type Protocol struct {
+	*protocol.Table
+	k, h int
+}
+
+// New constructs the protocol for k = 2^h groups.
+func New(k int) (*Protocol, error) {
+	if k < 2 || k&(k-1) != 0 {
+		return nil, fmt.Errorf("%w: k=%d", ErrNotPowerOfTwo, k)
+	}
+	h := 0
+	for 1<<h < k {
+		h++
+	}
+	p := &Protocol{k: k, h: h}
+	b := protocol.NewBuilder(fmt.Sprintf("composed-bipartition-%d", k), true)
+
+	// Declare states in the documented order. A free agent at internal
+	// node v outputs the group of the leftmost leaf below v.
+	for v := 1; v <= k-1; v++ {
+		g := p.leftmostLeafGroup(v)
+		b.AddState(fmt.Sprintf("free(%d)", v), g)
+		b.AddState(fmt.Sprintf("free'(%d)", v), g)
+	}
+	for v := k; v <= 2*k-1; v++ {
+		b.AddState(fmt.Sprintf("leaf(%d)", v-k+1), v-k+1)
+	}
+	b.SetInitial(p.Free(1, 0))
+
+	// child returns the state an agent entering node c assumes: free at c
+	// with parity 0 if internal, settled if c is a leaf.
+	child := func(c int) protocol.State {
+		if c >= k {
+			return p.Leaf(c - k + 1)
+		}
+		return p.Free(c, 0)
+	}
+
+	for v := 1; v <= k-1; v++ {
+		f0, f1 := p.Free(v, 0), p.Free(v, 1)
+		// Same node, same parity: flip both (bipartition rules 1/2).
+		b.AddRule(f0, f0, f1, f1)
+		b.AddRule(f1, f1, f0, f0)
+		// Same node, opposite parity: split into the children (rule 5).
+		b.AddRule(f0, f1, child(2*v), child(2*v+1))
+		// Free agent meets anything not free at v: flip parity (rule 4
+		// analogue). Covers settled leaves, and free agents at other
+		// nodes (both flip, via this rule firing once per encounter...
+		// an encounter between free(v) and free(w), v != w, must flip
+		// BOTH; a single table entry handles it below).
+		for v2 := v + 1; v2 <= k-1; v2++ {
+			for _, a := range []int{0, 1} {
+				for _, c := range []int{0, 1} {
+					b.AddRule(p.Free(v, a), p.Free(v2, c), p.Free(v, 1-a), p.Free(v2, 1-c))
+				}
+			}
+		}
+		for leaf := 1; leaf <= k; leaf++ {
+			b.AddRule(f0, p.Leaf(leaf), f1, p.Leaf(leaf))
+			b.AddRule(f1, p.Leaf(leaf), f0, p.Leaf(leaf))
+		}
+	}
+
+	tab, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("composed: k=%d: %w", k, err)
+	}
+	p.Table = tab
+	return p, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(k int) *Protocol {
+	p, err := New(k)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// K returns the number of groups.
+func (p *Protocol) K() int { return p.k }
+
+// Depth returns h = log2(k).
+func (p *Protocol) Depth() int { return p.h }
+
+// Free returns the state index of a free agent at internal node v
+// (heap index, 1 <= v <= k−1) with the given parity bit.
+func (p *Protocol) Free(v, parity int) protocol.State {
+	if v < 1 || v > p.k-1 || parity < 0 || parity > 1 {
+		panic(fmt.Sprintf("composed: free(%d,%d) out of range for k=%d", v, parity, p.k))
+	}
+	return protocol.State(2*(v-1) + parity)
+}
+
+// Leaf returns the state index of the settled state for group g (1..k).
+func (p *Protocol) Leaf(g int) protocol.State {
+	if g < 1 || g > p.k {
+		panic(fmt.Sprintf("composed: leaf(%d) out of range for k=%d", g, p.k))
+	}
+	return protocol.State(2*(p.k-1) + g - 1)
+}
+
+// IsFree reports whether s is a free (non-settled) state.
+func (p *Protocol) IsFree(s protocol.State) bool { return int(s) < 2*(p.k-1) }
+
+// leftmostLeafGroup returns the group of the leftmost leaf below heap
+// node v.
+func (p *Protocol) leftmostLeafGroup(v int) int {
+	for v < p.k {
+		v *= 2
+	}
+	return v - p.k + 1
+}
+
+// Stable reports whether the configuration given by counts can no longer
+// change any agent's group: every internal node hosts at most one free
+// agent. (That one agent flips parity forever but its group is fixed.)
+func (p *Protocol) Stable(counts []int) bool {
+	for v := 1; v <= p.k-1; v++ {
+		if counts[p.Free(v, 0)]+counts[p.Free(v, 1)] > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxSpreadBound returns the worst-case group-size spread this protocol
+// can stabilize to: one stranded agent per internal node on a root-to-leaf
+// path, i.e. log2(k). The paper's protocol guarantees 1.
+func (p *Protocol) MaxSpreadBound() int { return p.h }

@@ -1,0 +1,207 @@
+package composed
+
+import (
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/population"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func TestNewRejectsNonPowers(t *testing.T) {
+	for _, k := range []int{0, 1, 3, 5, 6, 7, 9, 12} {
+		if _, err := New(k); err == nil {
+			t.Errorf("k=%d accepted", k)
+		}
+	}
+}
+
+// The composed protocol uses 3k−2 states, the same count as the paper's
+// protocol — the comparison is therefore purely about output quality and
+// convergence time, a point DESIGN.md's ablation A1 relies on.
+func TestStateCount(t *testing.T) {
+	for _, k := range []int{2, 4, 8, 16, 32} {
+		p := MustNew(k)
+		if got, want := p.NumStates(), 3*k-2; got != want {
+			t.Errorf("k=%d: NumStates=%d, want %d", k, got, want)
+		}
+		if err := protocol.Validate(p); err != nil {
+			t.Errorf("k=%d: %v", k, err)
+		}
+		if _, ok := protocol.CheckSymmetric(p); !ok {
+			t.Errorf("k=%d: protocol not symmetric", k)
+		}
+	}
+}
+
+func TestDepth(t *testing.T) {
+	for k, h := range map[int]int{2: 1, 4: 2, 8: 3, 16: 4} {
+		p := MustNew(k)
+		if p.Depth() != h || p.MaxSpreadBound() != h {
+			t.Errorf("k=%d: depth %d, want %d", k, p.Depth(), h)
+		}
+		if p.K() != k {
+			t.Errorf("K() = %d", p.K())
+		}
+	}
+}
+
+func TestGroupMapping(t *testing.T) {
+	p := MustNew(4)
+	// Root's leftmost leaf is group 1.
+	if g := p.Group(p.Free(1, 0)); g != 1 {
+		t.Errorf("f(free root) = %d", g)
+	}
+	// Node 3 (right child of root) covers leaves 6,7 = groups 3,4.
+	if g := p.Group(p.Free(3, 1)); g != 3 {
+		t.Errorf("f(free node3) = %d", g)
+	}
+	for g := 1; g <= 4; g++ {
+		if got := p.Group(p.Leaf(g)); got != g {
+			t.Errorf("f(leaf %d) = %d", g, got)
+		}
+	}
+}
+
+func TestSplitRule(t *testing.T) {
+	p := MustNew(4)
+	// Root split: children are internal nodes 2 and 3.
+	out, fired := p.Delta(p.Free(1, 0), p.Free(1, 1))
+	if !fired || out.P != p.Free(2, 0) || out.Q != p.Free(3, 0) {
+		t.Fatalf("root split = (%s,%s)", p.StateName(out.P), p.StateName(out.Q))
+	}
+	// Node 2 split: children are leaves 4,5 = groups 1,2.
+	out, _ = p.Delta(p.Free(2, 0), p.Free(2, 1))
+	if out.P != p.Leaf(1) || out.Q != p.Leaf(2) {
+		t.Fatalf("node2 split = (%s,%s)", p.StateName(out.P), p.StateName(out.Q))
+	}
+}
+
+func TestParityFlips(t *testing.T) {
+	p := MustNew(4)
+	// Same node same parity: both flip.
+	out, _ := p.Delta(p.Free(2, 0), p.Free(2, 0))
+	if out.P != p.Free(2, 1) || out.Q != p.Free(2, 1) {
+		t.Fatalf("same-parity flip failed: %v", out)
+	}
+	// Different nodes: both flip.
+	out, _ = p.Delta(p.Free(2, 1), p.Free(3, 0))
+	if out.P != p.Free(2, 0) || out.Q != p.Free(3, 1) {
+		t.Fatalf("cross-node flip failed: %v", out)
+	}
+	// Free meets leaf: free flips, leaf unchanged.
+	out, _ = p.Delta(p.Free(1, 0), p.Leaf(2))
+	if out.P != p.Free(1, 1) || out.Q != p.Leaf(2) {
+		t.Fatalf("free-leaf flip failed: %v", out)
+	}
+}
+
+func TestLeavesAbsorbing(t *testing.T) {
+	p := MustNew(8)
+	for g := 1; g <= 8; g++ {
+		for s := 0; s < p.NumStates(); s++ {
+			out, _ := p.Delta(p.Leaf(g), protocol.State(s))
+			if out.P != p.Leaf(g) {
+				t.Fatalf("leaf %d changed by %s", g, p.StateName(protocol.State(s)))
+			}
+		}
+	}
+}
+
+func TestStabilizesWithBoundedSpread(t *testing.T) {
+	for _, cse := range []struct{ n, k int }{
+		{8, 4}, {12, 4}, {16, 4}, {17, 4}, {23, 4},
+		{16, 8}, {24, 8}, {40, 8},
+	} {
+		p := MustNew(cse.k)
+		pop := population.New(p, cse.n)
+		stop := sim.NewCountsPredicate(p.Stable)
+		res, err := sim.Run(pop, sched.NewRandom(rng.StreamSeed(3, uint64(cse.n), uint64(cse.k))),
+			stop, sim.Options{MaxInteractions: 20_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("n=%d k=%d did not stabilize", cse.n, cse.k)
+		}
+		total := 0
+		for _, s := range res.GroupSizes {
+			total += s
+		}
+		if total != cse.n {
+			t.Fatalf("n=%d k=%d: groups sum to %d: %v", cse.n, cse.k, total, res.GroupSizes)
+		}
+		if sp := res.Spread(); sp > p.MaxSpreadBound() {
+			t.Fatalf("n=%d k=%d: spread %d exceeds bound %d (%v)",
+				cse.n, cse.k, sp, p.MaxSpreadBound(), res.GroupSizes)
+		}
+	}
+}
+
+// The headline deficiency: repeated bipartition does NOT achieve exact
+// uniformity. n=7, k=4 stabilizes with spread 2 whenever the root split
+// strands an agent AND the left child strands another — and some execution
+// does this, so the exhaustive checker must find a stable non-uniform
+// configuration. (This is the motivation for the paper's direct protocol.)
+func TestNotExactlyUniform(t *testing.T) {
+	p := MustNew(4)
+	rep, err := explore.Check(p, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Uniform {
+		t.Fatal("composed bipartition reported exactly uniform at n=7, k=4; expected spread 2 configurations")
+	}
+	// With the spread relaxed to log2(k) the checker must pass.
+	rep, err = explore.Check(p, 7, p.MaxSpreadBound())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.LiveFromAll || !rep.Uniform {
+		t.Fatalf("composed bipartition violates its own spread bound: %+v", rep)
+	}
+}
+
+// For k = 2 the composed protocol IS the bipartition protocol and exact.
+func TestK2Exact(t *testing.T) {
+	p := MustNew(2)
+	for n := 3; n <= 10; n++ {
+		rep, err := explore.Check(p, n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.LiveFromAll || !rep.Uniform {
+			t.Fatalf("n=%d: live=%v uniform=%v", n, rep.LiveFromAll, rep.Uniform)
+		}
+	}
+}
+
+func TestCodecPanics(t *testing.T) {
+	p := MustNew(4)
+	for _, fn := range []func(){
+		func() { p.Free(0, 0) }, func() { p.Free(4, 0) }, func() { p.Free(1, 2) },
+		func() { p.Leaf(0) }, func() { p.Leaf(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range codec call did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestIsFree(t *testing.T) {
+	p := MustNew(4)
+	if !p.IsFree(p.Free(1, 0)) || !p.IsFree(p.Free(3, 1)) {
+		t.Error("free states misclassified")
+	}
+	if p.IsFree(p.Leaf(1)) || p.IsFree(p.Leaf(4)) {
+		t.Error("leaves classified free")
+	}
+}

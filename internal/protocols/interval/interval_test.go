@@ -1,0 +1,171 @@
+package interval
+
+import (
+	"testing"
+
+	"repro/internal/population"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func TestNewRejectsBadK(t *testing.T) {
+	for _, k := range []int{-1, 0, 1} {
+		if _, err := New(k); err == nil {
+			t.Errorf("k=%d accepted", k)
+		}
+	}
+}
+
+// State budget: k(k+1)/2 intervals, within the cited k(k+3)/2 bound.
+func TestStateBudget(t *testing.T) {
+	for k := 2; k <= 16; k++ {
+		p := MustNew(k)
+		if got, want := p.NumStates(), k*(k+1)/2; got != want {
+			t.Errorf("k=%d: %d states, want %d", k, got, want)
+		}
+		if p.NumStates() > k*(k+3)/2 {
+			t.Errorf("k=%d: exceeds cited budget", k)
+		}
+		if err := protocol.Validate(p); err != nil {
+			t.Errorf("k=%d: %v", k, err)
+		}
+	}
+}
+
+// Unlike the paper's protocol, the split rule is asymmetric: two agents in
+// the same splittable state leave in different states.
+func TestAsymmetric(t *testing.T) {
+	p := MustNew(4)
+	if s, ok := protocol.CheckSymmetric(p); ok {
+		t.Fatal("interval baseline unexpectedly symmetric")
+	} else if p.lo[s] == p.hi[s] {
+		t.Fatalf("asymmetry reported on a singleton state %s", p.StateName(s))
+	}
+}
+
+func TestBoundsRoundTrip(t *testing.T) {
+	p := MustNew(6)
+	for lo := 1; lo <= 6; lo++ {
+		for hi := lo; hi <= 6; hi++ {
+			s := p.Interval(lo, hi)
+			gl, gh := p.Bounds(s)
+			if gl != lo || gh != hi {
+				t.Fatalf("Bounds(Interval(%d,%d)) = (%d,%d)", lo, hi, gl, gh)
+			}
+			if p.IsFinal(s) != (lo == hi) {
+				t.Fatalf("IsFinal wrong for [%d,%d]", lo, hi)
+			}
+			if p.Group(s) != lo {
+				t.Fatalf("f([%d,%d]) = %d", lo, hi, p.Group(s))
+			}
+		}
+	}
+}
+
+func TestSplitRule(t *testing.T) {
+	p := MustNew(5)
+	// [1,5] splits at mid 3 into [1,3] and [4,5].
+	out, fired := p.Delta(p.Interval(1, 5), p.Interval(1, 5))
+	if !fired || out.P != p.Interval(1, 3) || out.Q != p.Interval(4, 5) {
+		t.Fatalf("split = (%s, %s)", p.StateName(out.P), p.StateName(out.Q))
+	}
+	// Different intervals never interact.
+	out, _ = p.Delta(p.Interval(1, 3), p.Interval(4, 5))
+	if out.P != p.Interval(1, 3) || out.Q != p.Interval(4, 5) {
+		t.Fatal("cross-interval interaction not null")
+	}
+	// Singletons never interact.
+	out, _ = p.Delta(p.Interval(2, 2), p.Interval(2, 2))
+	if out.P != p.Interval(2, 2) {
+		t.Fatal("singleton interaction not null")
+	}
+}
+
+func TestCodecPanics(t *testing.T) {
+	p := MustNew(4)
+	for _, fn := range []func(){
+		func() { p.Interval(0, 3) },
+		func() { p.Interval(2, 5) },
+		func() { p.Interval(3, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid interval accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// The baseline's contract: every group ends with at least n/(2k) agents.
+// Verified across a grid with n large enough for the reconstruction's
+// guarantee (n >= 4·k·log2(k); see the package comment).
+func TestMinGuarantee(t *testing.T) {
+	for _, cse := range []struct{ n, k int }{
+		{64, 3}, {100, 4}, {128, 4}, {200, 5}, {240, 6}, {512, 8},
+	} {
+		p := MustNew(cse.k)
+		pop := population.New(p, cse.n)
+		res, err := sim.Run(pop, sched.NewRandom(rng.StreamSeed(5, uint64(cse.n), uint64(cse.k))),
+			sim.NewCountsPredicate(p.Stable), sim.Options{MaxInteractions: 100_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("n=%d k=%d did not quiesce", cse.n, cse.k)
+		}
+		min := p.MinGuarantee(cse.n)
+		for g, size := range res.GroupSizes {
+			if size < min {
+				t.Errorf("n=%d k=%d: group %d has %d agents, guarantee is %d (sizes %v)",
+					cse.n, cse.k, g+1, size, min, res.GroupSizes)
+			}
+		}
+	}
+}
+
+// Quiescence and the Stable predicate agree: once Stable fires, the
+// generic quiescence detector must also consider the configuration dead.
+func TestStableImpliesQuiescent(t *testing.T) {
+	p := MustNew(4)
+	pop := population.New(p, 37)
+	res, err := sim.Run(pop, sched.NewRandom(77), sim.NewCountsPredicate(p.Stable),
+		sim.Options{MaxInteractions: 10_000_000})
+	if err != nil || !res.Converged {
+		t.Fatalf("setup: %v %+v", err, res)
+	}
+	q := sim.NewQuiescence(p)
+	q.Init(pop)
+	if !q.Satisfied() {
+		t.Fatal("Stable configuration not quiescent")
+	}
+}
+
+// Agent conservation and interval nesting along executions: every agent's
+// interval only ever shrinks and stays inside its previous interval.
+func TestIntervalsOnlyShrink(t *testing.T) {
+	p := MustNew(8)
+	pop := population.New(p, 50)
+	prev := make([][2]int, 50)
+	for i := range prev {
+		prev[i] = [2]int{1, 8}
+	}
+	hook := sim.StepFunc(func(pop *population.Population, s sim.StepInfo) {
+		for _, idx := range []int{s.I, s.J} {
+			lo, hi := p.Bounds(pop.State(idx))
+			if lo < prev[idx][0] || hi > prev[idx][1] {
+				t.Fatalf("agent %d interval grew: [%d,%d] -> [%d,%d]",
+					idx, prev[idx][0], prev[idx][1], lo, hi)
+			}
+			prev[idx] = [2]int{lo, hi}
+		}
+	})
+	if _, err := sim.Run(pop, sched.NewRandom(3), sim.NewCountsPredicate(p.Stable),
+		sim.Options{MaxInteractions: 5_000_000, Hooks: []sim.Hook{hook}}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+// Package rpartition implements the R-generalized partition problem the
+// paper points to as follow-up work (Umino, Kitamura, Izumi;
+// "Differentiation in population protocols", BDA 2018): divide the
+// population into k groups whose sizes follow a given ratio vector
+// R = (r1, ..., rk).
+//
+// The implementation is the natural reduction the uniform protocol makes
+// available: run the paper's uniform K-partition protocol with
+// K = r1 + ... + rk virtual groups and map virtual group j to the output
+// group i whose ratio window contains j (prefix sums of R). Every virtual
+// group ends with ⌊n/K⌋ or ⌈n/K⌉ agents, so output group i receives
+// between ri·⌊n/K⌋ and ri·⌈n/K⌉ agents — within ri of the ideal ri·n/K.
+// The protocol inherits symmetry, the designated initial state, the 3K−2
+// state bound, and the global-fairness stabilization proof wholesale.
+package rpartition
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/protocol"
+)
+
+// Errors returned by New.
+var (
+	ErrEmptyRatio = errors.New("rpartition: ratio vector must have >= 2 entries")
+	ErrBadRatio   = errors.New("rpartition: ratio entries must be >= 1")
+)
+
+// Protocol runs the uniform K-partition protocol and re-maps its output
+// groups through a ratio vector. It implements protocol.Protocol.
+type Protocol struct {
+	*core.Protocol
+	ratio []int
+	// groupOf[j] is the output group (1-based) of virtual group j (1-based).
+	groupOf []int
+}
+
+// New constructs the protocol for the given ratio vector.
+func New(ratio []int) (*Protocol, error) {
+	if len(ratio) < 2 {
+		return nil, fmt.Errorf("%w: got %d", ErrEmptyRatio, len(ratio))
+	}
+	K := 0
+	for _, r := range ratio {
+		if r < 1 {
+			return nil, fmt.Errorf("%w: %v", ErrBadRatio, ratio)
+		}
+		K += r
+	}
+	inner, err := core.New(K)
+	if err != nil {
+		return nil, err
+	}
+	p := &Protocol{
+		Protocol: inner,
+		ratio:    append([]int(nil), ratio...),
+		groupOf:  make([]int, K+1),
+	}
+	j := 1
+	for i, r := range ratio {
+		for c := 0; c < r; c++ {
+			p.groupOf[j] = i + 1
+			j++
+		}
+	}
+	return p, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(ratio []int) *Protocol {
+	p, err := New(ratio)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Name identifies the protocol.
+func (p *Protocol) Name() string {
+	return fmt.Sprintf("rpartition-%v", p.ratio)
+}
+
+// NumGroups returns len(R), the number of OUTPUT groups.
+func (p *Protocol) NumGroups() int { return len(p.ratio) }
+
+// Group maps a state to its output group: the virtual group of the
+// underlying uniform protocol, folded through the ratio windows.
+func (p *Protocol) Group(s protocol.State) int {
+	return p.groupOf[p.Protocol.Group(s)]
+}
+
+// Ratio returns a copy of the ratio vector.
+func (p *Protocol) Ratio() []int { return append([]int(nil), p.ratio...) }
+
+// K returns the number of virtual groups, ΣR.
+func (p *Protocol) K() int { return p.Protocol.K() }
+
+// IdealSizes returns the real-valued ideal size ri·n/K of each output
+// group, rounded to the enclosing integer bounds [lo, hi] the protocol
+// guarantees: lo = ri·⌊n/K⌋ and hi = ri·⌈n/K⌉ (hi = lo when K divides n;
+// the virtual remainder tightens the true range further).
+func (p *Protocol) IdealSizes(n int) (lo, hi []int) {
+	K := p.Protocol.K()
+	q := n / K
+	lo = make([]int, len(p.ratio))
+	hi = make([]int, len(p.ratio))
+	for i, r := range p.ratio {
+		lo[i] = r * q
+		if n%K == 0 {
+			hi[i] = r * q
+		} else {
+			hi[i] = r * (q + 1)
+		}
+	}
+	return lo, hi
+}

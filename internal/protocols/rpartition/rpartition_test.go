@@ -1,0 +1,133 @@
+package rpartition
+
+import (
+	"testing"
+
+	"repro/internal/population"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, r := range [][]int{nil, {}, {3}, {1, 0}, {2, -1, 1}} {
+		if _, err := New(r); err == nil {
+			t.Errorf("ratio %v accepted", r)
+		}
+	}
+	if _, err := New([]int{1, 2}); err != nil {
+		t.Fatalf("valid ratio rejected: %v", err)
+	}
+}
+
+func TestStructure(t *testing.T) {
+	p := MustNew([]int{1, 2, 3})
+	if p.K() != 6 {
+		t.Fatalf("K = %d, want 6", p.K())
+	}
+	if p.NumGroups() != 3 {
+		t.Fatalf("NumGroups = %d, want 3", p.NumGroups())
+	}
+	if got, want := p.NumStates(), 3*6-2; got != want {
+		t.Fatalf("NumStates = %d, want %d (inherits 3K−2)", got, want)
+	}
+	if err := protocol.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := protocol.CheckSymmetric(p); !ok {
+		t.Fatal("rpartition not symmetric (must inherit symmetry)")
+	}
+	if got := p.Ratio(); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("Ratio = %v", got)
+	}
+}
+
+// Virtual-to-output group folding: with R = (1,2,3), virtual groups 1 -> 1,
+// 2..3 -> 2, 4..6 -> 3.
+func TestGroupFolding(t *testing.T) {
+	p := MustNew([]int{1, 2, 3})
+	wantByVirtual := []int{0, 1, 2, 2, 3, 3, 3} // index = virtual group
+	for v := 1; v <= 6; v++ {
+		s := p.Protocol.G(v) // virtual g_v state
+		if got := p.Group(s); got != wantByVirtual[v] {
+			t.Errorf("f(g%d) = %d, want %d", v, got, wantByVirtual[v])
+		}
+	}
+	// Free and d states fold through virtual group 1 -> output group 1.
+	if p.Group(p.Protocol.Initial()) != 1 {
+		t.Error("initial not in group 1")
+	}
+}
+
+func TestStabilizesToRatio(t *testing.T) {
+	cases := []struct {
+		ratio []int
+		n     int
+	}{
+		{[]int{1, 2}, 30},    // K=3: groups of 10 and 20
+		{[]int{1, 2, 3}, 36}, // K=6: groups of 6, 12, 18
+		{[]int{2, 3, 5}, 40}, // K=10: groups of 8, 12, 20
+		{[]int{1, 2}, 31},    // K=3, remainder 1
+		{[]int{1, 1, 2}, 27}, // K=4, remainder 3
+	}
+	for _, cse := range cases {
+		p := MustNew(cse.ratio)
+		pop := population.New(p, cse.n)
+		tgt, err := p.Protocol.TargetCounts(cse.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stop := sim.NewCountTarget(p.Protocol.CanonMap(), tgt)
+		res, err := sim.Run(pop, sched.NewRandom(rng.StreamSeed(9, uint64(cse.n))), stop,
+			sim.Options{MaxInteractions: 200_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("ratio %v n=%d did not stabilize", cse.ratio, cse.n)
+		}
+		lo, hi := p.IdealSizes(cse.n)
+		for i, size := range res.GroupSizes {
+			if size < lo[i] || size > hi[i] {
+				t.Errorf("ratio %v n=%d: group %d size %d outside [%d,%d] (sizes %v)",
+					cse.ratio, cse.n, i+1, size, lo[i], hi[i], res.GroupSizes)
+			}
+		}
+	}
+}
+
+func TestIdealSizesExactWhenDivisible(t *testing.T) {
+	p := MustNew([]int{1, 3})
+	lo, hi := p.IdealSizes(40) // K=4, q=10
+	if lo[0] != 10 || hi[0] != 10 || lo[1] != 30 || hi[1] != 30 {
+		t.Fatalf("lo=%v hi=%v", lo, hi)
+	}
+	lo, hi = p.IdealSizes(41)
+	if lo[0] != 10 || hi[0] != 11 || lo[1] != 30 || hi[1] != 33 {
+		t.Fatalf("remainder case lo=%v hi=%v", lo, hi)
+	}
+}
+
+func TestName(t *testing.T) {
+	p := MustNew([]int{2, 5})
+	if p.Name() == "" || p.Name() == p.Protocol.Name() {
+		t.Fatalf("Name = %q should be ratio-specific", p.Name())
+	}
+}
+
+// Uniform partition as the degenerate ratio (1,1,...,1): output must match
+// the core protocol's exactly.
+func TestAllOnesRatioIsUniform(t *testing.T) {
+	p := MustNew([]int{1, 1, 1, 1})
+	pop := population.New(p, 22)
+	tgt, _ := p.Protocol.TargetCounts(22)
+	res, err := sim.Run(pop, sched.NewRandom(4), sim.NewCountTarget(p.Protocol.CanonMap(), tgt),
+		sim.Options{MaxInteractions: 50_000_000})
+	if err != nil || !res.Converged {
+		t.Fatalf("%v %+v", err, res)
+	}
+	if sp := res.Spread(); sp > 1 {
+		t.Fatalf("spread %d with all-ones ratio: %v", sp, res.GroupSizes)
+	}
+}

@@ -1,0 +1,190 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of (x, y) points for a LineChart. Points must
+// share x-positions across series for the chart to align them; the harness
+// guarantees this by sweeping the same parameter grid per series.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// LineChart renders one or more series as an ASCII scatter/line chart.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int  // plot columns (default 72)
+	Height int  // plot rows (default 20)
+	LogY   bool // logarithmic y axis (Figure 6 style)
+	Series []Series
+}
+
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// String renders the chart.
+func (c *LineChart) String() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if c.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return c.Title + "\n(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			y := s.Y[i]
+			if c.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(w-1))
+			row := h - 1 - int((y-minY)/(maxY-minY)*float64(h-1))
+			grid[row][col] = m
+		}
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		sb.WriteString(c.Title)
+		sb.WriteByte('\n')
+	}
+	yTop, yBot := maxY, minY
+	fmtY := func(v float64) string {
+		if c.LogY {
+			return fmt.Sprintf("%.3g", math.Pow(10, v))
+		}
+		return fmt.Sprintf("%.3g", v)
+	}
+	labelW := 10
+	for r, row := range grid {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = pad(fmtY(yTop), labelW)
+		case h - 1:
+			label = pad(fmtY(yBot), labelW)
+		case h / 2:
+			label = pad(fmtY((yTop+yBot)/2), labelW)
+		}
+		sb.WriteString(label)
+		sb.WriteByte('|')
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(strings.Repeat(" ", labelW))
+	sb.WriteByte('+')
+	sb.WriteString(strings.Repeat("-", w))
+	sb.WriteByte('\n')
+	sb.WriteString(strings.Repeat(" ", labelW+1))
+	xAxis := pad(fmt.Sprintf("%.4g", minX), w-10) + fmt.Sprintf("%10.4g", maxX)
+	sb.WriteString(xAxis)
+	sb.WriteByte('\n')
+	if c.XLabel != "" || c.YLabel != "" {
+		sb.WriteString(fmt.Sprintf("%sx: %s   y: %s%s\n",
+			strings.Repeat(" ", labelW+1), c.XLabel, c.YLabel, logSuffix(c.LogY)))
+	}
+	for si, s := range c.Series {
+		sb.WriteString(fmt.Sprintf("%s%c = %s\n", strings.Repeat(" ", labelW+1), markers[si%len(markers)], s.Name))
+	}
+	return sb.String()
+}
+
+func logSuffix(log bool) string {
+	if log {
+		return " (log scale)"
+	}
+	return ""
+}
+
+// StackedBars renders the Figure 4 style chart: for each x (population
+// size), a column decomposed into segments (per-grouping interaction
+// counts), printed as a table of cumulative heights plus a bar rendering.
+type StackedBars struct {
+	Title    string
+	XLabel   string
+	Segments []string // names bottom-to-top, e.g. "1st-grouping", ...
+	X        []float64
+	// Values[i][j] is segment j's height at X[i]; ragged rows allowed
+	// (later groupings may not exist for small n).
+	Values [][]float64
+	Width  int // bar height resolution in characters (default 40)
+}
+
+// String renders the chart as horizontal stacked bars, one row per x.
+func (s *StackedBars) String() string {
+	width := s.Width
+	if width <= 0 {
+		width = 40
+	}
+	maxTotal := 0.0
+	totals := make([]float64, len(s.X))
+	for i, row := range s.Values {
+		for _, v := range row {
+			totals[i] += v
+		}
+		if totals[i] > maxTotal {
+			maxTotal = totals[i]
+		}
+	}
+	if maxTotal == 0 {
+		maxTotal = 1
+	}
+	var sb strings.Builder
+	if s.Title != "" {
+		sb.WriteString(s.Title)
+		sb.WriteByte('\n')
+	}
+	for i := range s.X {
+		sb.WriteString(fmt.Sprintf("%8.4g |", s.X[i]))
+		for j, v := range s.Values[i] {
+			chars := int(v / maxTotal * float64(width))
+			m := markers[j%len(markers)]
+			sb.WriteString(strings.Repeat(string(m), chars))
+		}
+		sb.WriteString(fmt.Sprintf("  (total %s)\n", FormatFloat(totals[i])))
+	}
+	for j, name := range s.Segments {
+		sb.WriteString(fmt.Sprintf("  %c = %s\n", markers[j%len(markers)], name))
+	}
+	if s.XLabel != "" {
+		sb.WriteString("  rows: " + s.XLabel + "\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,138 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("n", "interactions", "spread")
+	tb.AddRow(12, 345.678, 1)
+	tb.AddRow(120, 45678.9, 0)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Fatalf("no separator line:\n%s", out)
+	}
+	// Header and rows must render all columns.
+	if !strings.Contains(lines[0], "interactions") || !strings.Contains(lines[2], "345.7") {
+		t.Fatalf("content missing:\n%s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		1200:    "1200",
+		1234.56: "1234.6",
+		0.125:   "0.125",
+		-42:     "-42",
+	}
+	for v, want := range cases {
+		if got := FormatFloat(v); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow(`x,y`, `say "hi"`)
+	csv := tb.CSV()
+	want := "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestLineChartRendersSeries(t *testing.T) {
+	c := &LineChart{
+		Title:  "fig",
+		XLabel: "n",
+		YLabel: "interactions",
+		Width:  40,
+		Height: 10,
+		Series: []Series{
+			{Name: "k=4", X: []float64{1, 2, 3}, Y: []float64{10, 20, 30}},
+			{Name: "k=6", X: []float64{1, 2, 3}, Y: []float64{15, 30, 60}},
+		},
+	}
+	out := c.String()
+	if !strings.Contains(out, "fig") || !strings.Contains(out, "k=4") || !strings.Contains(out, "k=6") {
+		t.Fatalf("chart missing pieces:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("chart missing markers:\n%s", out)
+	}
+}
+
+func TestLineChartLogY(t *testing.T) {
+	c := &LineChart{
+		LogY:   true,
+		Width:  30,
+		Height: 8,
+		Series: []Series{{Name: "s", X: []float64{1, 2, 3}, Y: []float64{10, 1000, 100000}}},
+	}
+	out := c.String()
+	if !strings.Contains(out, "1e+05") && !strings.Contains(out, "100000") {
+		t.Fatalf("log chart label missing:\n%s", out)
+	}
+	// Non-positive y values must be skipped, not crash.
+	c.Series[0].Y[0] = 0
+	_ = c.String()
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	c := &LineChart{Title: "t"}
+	if out := c.String(); !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart:\n%s", out)
+	}
+}
+
+func TestLineChartConstantAxes(t *testing.T) {
+	c := &LineChart{
+		Width: 20, Height: 5,
+		Series: []Series{{Name: "s", X: []float64{5}, Y: []float64{7}}},
+	}
+	out := c.String()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestStackedBars(t *testing.T) {
+	s := &StackedBars{
+		Title:    "fig4",
+		XLabel:   "n",
+		Segments: []string{"1st", "2nd", "3rd"},
+		X:        []float64{8, 12},
+		Values:   [][]float64{{10, 20}, {10, 20, 40}},
+		Width:    20,
+	}
+	out := s.String()
+	if !strings.Contains(out, "fig4") || !strings.Contains(out, "total 70") {
+		t.Fatalf("stacked bars:\n%s", out)
+	}
+	if !strings.Contains(out, "1st") || !strings.Contains(out, "3rd") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+}
+
+func TestStackedBarsAllZero(t *testing.T) {
+	s := &StackedBars{X: []float64{1}, Values: [][]float64{{0}}}
+	_ = s.String() // must not divide by zero
+}
+
+func TestWriteCSVPlain(t *testing.T) {
+	var sb strings.Builder
+	err := WriteCSV(&sb, []string{"x", "y"}, [][]string{{"1", "2"}, {"3", "4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "x,y\n1,2\n3,4\n" {
+		t.Fatalf("got %q", sb.String())
+	}
+}

@@ -1,0 +1,110 @@
+package rng
+
+// This file provides small distribution helpers on top of a raw Source.
+// They are methods of Rand, a convenience wrapper that callers embed or
+// hold by value.
+
+// Rand wraps a Source with the distribution helpers simulations need.
+// The zero value is invalid; use New.
+type Rand struct {
+	src Source
+}
+
+// New returns a Rand drawing from a fresh Xoshiro256 seeded with seed.
+func New(seed uint64) *Rand {
+	return &Rand{src: NewXoshiro256(seed)}
+}
+
+// FromSource returns a Rand drawing from src.
+func FromSource(src Source) *Rand {
+	return &Rand{src: src}
+}
+
+// Uint64 returns the next raw 64 bits.
+func (r *Rand) Uint64() uint64 { return r.src.Uint64() }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+//
+// It uses Lemire's multiply-shift rejection method, which avoids the modulo
+// bias of naive `Uint64() % n` and is branch-free in the common case.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n). It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	// Lemire 2019, "Fast Random Integer Generation in an Interval".
+	// hi of x*n is uniform in [0,n) except for a small biased region of the
+	// low word, rejected below.
+	x := r.Uint64()
+	hi, lo := mul64(x, n)
+	if lo < n {
+		thresh := -n % n // == (2^64 - n) mod n
+		for lo < thresh {
+			x = r.Uint64()
+			hi, lo = mul64(x, n)
+		}
+	}
+	return hi
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	w0 := a0 * b0
+	t := a1*b0 + w0>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += a0 * b1
+	hi = a1*b1 + w2 + w1>>32
+	lo = a * b
+	return
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Pair returns two distinct uniform indices in [0, n). It panics if n < 2.
+// The pair is unordered-uniform: every unordered pair {i, j} has equal
+// probability, matching the interaction model of Section 5 of the paper
+// ("selecting two agents uniformly at random").
+func (r *Rand) Pair(n int) (int, int) {
+	if n < 2 {
+		panic("rng: Pair needs n >= 2")
+	}
+	i := r.Intn(n)
+	j := r.Intn(n - 1)
+	if j >= i {
+		j++
+	}
+	return i, j
+}
+
+// Perm fills p with a uniform permutation of 0..len(p)-1 (Fisher–Yates).
+func (r *Rand) Perm(p []int) {
+	for i := range p {
+		p[i] = i
+	}
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Shuffle permutes s in place uniformly at random.
+func (r *Rand) Shuffle(s []int) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}

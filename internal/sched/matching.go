@@ -1,0 +1,59 @@
+package sched
+
+import (
+	"repro/internal/rng"
+)
+
+// Matching emulates the synchronous-handshake model of Lamani &
+// Yamashita (cited by the paper's related work, Section 1.2): in each
+// round, ⌊n/2⌋ disjoint pairs interact "simultaneously". The sequential
+// engine applies them one at a time, but within one round no agent
+// appears in two pairs, which is the property the synchronous model
+// actually confers. Each round draws a fresh uniform random perfect
+// matching (one agent sits out when n is odd).
+//
+// The paper notes protocols designed for this model do not carry over to
+// the standard asynchronous one — and the reverse holds too, in a sharp
+// way this scheduler exposes: from the all-initial configuration with
+// EVEN n, every matching pairs two identical states, so rules 1/2 flip
+// the whole population's I-parity in lockstep forever and rule 5 can
+// never fire. The k-partition protocol provably cannot stabilize under
+// synchronous matchings with even n (the tests pin this down), while for
+// odd n the per-round idler breaks the parity lock and stabilization
+// resumes. Synchronous matchings are NOT globally fair here: the
+// reachable configuration (mixed parities) is never reached.
+type Matching struct {
+	r     *rng.Rand
+	perm  []int
+	next  int // index into perm of the next unused pair
+	round uint64
+}
+
+// NewMatching returns a Matching scheduler seeded with seed.
+func NewMatching(seed uint64) *Matching {
+	return &Matching{r: rng.New(seed)}
+}
+
+// Name implements Scheduler.
+func (m *Matching) Name() string { return "matching" }
+
+// Round returns how many full rounds have been drawn so far.
+func (m *Matching) Round() uint64 { return m.round }
+
+// Next implements Scheduler.
+func (m *Matching) Next(v View) (int, int) {
+	n := v.N()
+	if len(m.perm) != n || m.next+1 >= len(m.perm)-(n%2) {
+		// Draw a fresh matching: a uniform permutation read off in
+		// consecutive pairs (the last element idles when n is odd).
+		if len(m.perm) != n {
+			m.perm = make([]int, n)
+		}
+		m.r.Perm(m.perm)
+		m.next = 0
+		m.round++
+	}
+	i, j := m.perm[m.next], m.perm[m.next+1]
+	m.next += 2
+	return i, j
+}

@@ -1,0 +1,218 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/population"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+func TestRandomPairsValid(t *testing.T) {
+	p := core.MustNew(3)
+	pop := population.New(p, 7)
+	s := NewRandom(1)
+	if s.Name() != "random" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	for i := 0; i < 10000; i++ {
+		a, b := s.Next(pop)
+		if a == b || a < 0 || b < 0 || a >= 7 || b >= 7 {
+			t.Fatalf("invalid pair (%d,%d)", a, b)
+		}
+	}
+}
+
+func TestRandomCoversAllPairs(t *testing.T) {
+	p := core.MustNew(3)
+	pop := population.New(p, 5)
+	s := NewRandomFrom(rng.New(2))
+	seen := map[[2]int]bool{}
+	for i := 0; i < 5000; i++ {
+		a, b := s.Next(pop)
+		seen[[2]int{a, b}] = true
+	}
+	if len(seen) != 20 { // 5*4 ordered pairs
+		t.Fatalf("saw %d ordered pairs, want 20", len(seen))
+	}
+}
+
+func TestSweepEnumeratesAllOrderedPairs(t *testing.T) {
+	p := core.MustNew(3)
+	pop := population.New(p, 4)
+	s := NewSweep()
+	if s.Name() != "sweep" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	seen := map[[2]int]int{}
+	const cycles = 3
+	for i := 0; i < 12*cycles; i++ { // 4*3 ordered pairs per cycle
+		a, b := s.Next(pop)
+		if a == b {
+			t.Fatalf("sweep returned (%d,%d)", a, b)
+		}
+		seen[[2]int{a, b}]++
+	}
+	if len(seen) != 12 {
+		t.Fatalf("saw %d pairs, want 12: %v", len(seen), seen)
+	}
+	for pr, c := range seen {
+		if c != cycles {
+			t.Fatalf("pair %v seen %d times, want %d", pr, c, cycles)
+		}
+	}
+}
+
+func TestSweepHandlesShrunkPopulation(t *testing.T) {
+	p := core.MustNew(2)
+	big := population.New(p, 10)
+	small := population.New(p, 3)
+	s := NewSweep()
+	for i := 0; i < 50; i++ {
+		s.Next(big)
+	}
+	for i := 0; i < 20; i++ {
+		a, b := s.Next(small)
+		if a >= 3 || b >= 3 || a == b {
+			t.Fatalf("invalid pair (%d,%d) for n=3", a, b)
+		}
+	}
+}
+
+// The hostile scheduler must starve the k-partition protocol from the
+// all-initial configuration: rules 1/2 fire forever, rule 5 never does, so
+// no agent ever leaves I. This is the paper's Figure 1 loop made concrete,
+// and it shows global fairness is not satisfied by arbitrary schedules.
+func TestHostileStarvesKPartition(t *testing.T) {
+	p := core.MustNew(4)
+	pop := population.New(p, 8) // even n: perfect pairing exists
+	s := NewHostile(3, p.IsFree)
+	if s.Name() != "hostile" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	for i := 0; i < 200000; i++ {
+		a, b := s.Next(pop)
+		pop.Interact(a, b)
+	}
+	free := pop.Count(p.Initial()) + pop.Count(p.InitialBar())
+	if free != 8 {
+		t.Fatalf("hostile scheduler let %d agents escape I", 8-free)
+	}
+}
+
+// With odd n the perfect same-state pairing argument still holds from the
+// all-initial configuration (the scheduler always finds two equal I-states
+// among >= 3 free agents by pigeonhole).
+func TestHostileStarvesOddN(t *testing.T) {
+	p := core.MustNew(3)
+	pop := population.New(p, 7)
+	s := NewHostile(9, p.IsFree)
+	for i := 0; i < 100000; i++ {
+		a, b := s.Next(pop)
+		pop.Interact(a, b)
+	}
+	free := pop.Count(p.Initial()) + pop.Count(p.InitialBar())
+	if free != 7 {
+		t.Fatalf("hostile scheduler let %d agents escape I", 7-free)
+	}
+}
+
+// Sanity: the hostile scheduler degrades gracefully (random fallback) when
+// fewer than two free agents exist.
+func TestHostileFallback(t *testing.T) {
+	p := core.MustNew(3)
+	pop := population.FromStates(p, []protocol.State{p.G(1), p.G(2), p.G(3)})
+	s := NewHostile(4, p.IsFree)
+	for i := 0; i < 100; i++ {
+		a, b := s.Next(pop)
+		if a == b || a < 0 || b < 0 || a >= pop.N() || b >= pop.N() {
+			t.Fatalf("invalid fallback pair (%d,%d)", a, b)
+		}
+	}
+}
+
+func TestMatchingDisjointWithinRound(t *testing.T) {
+	p := core.MustNew(3)
+	for _, n := range []int{4, 7, 10} {
+		pop := population.New(p, n)
+		m := NewMatching(5)
+		if m.Name() != "matching" {
+			t.Fatalf("Name %q", m.Name())
+		}
+		pairsPerRound := n / 2
+		for round := 0; round < 20; round++ {
+			seen := make(map[int]bool)
+			var started uint64
+			for i := 0; i < pairsPerRound; i++ {
+				a, b := m.Next(pop)
+				if i == 0 {
+					started = m.Round() // the first Next of a round draws it
+				}
+				if a == b || a < 0 || b < 0 || a >= n || b >= n {
+					t.Fatalf("n=%d: invalid pair (%d,%d)", n, a, b)
+				}
+				if seen[a] || seen[b] {
+					t.Fatalf("n=%d round %d: agent reused within a round", n, round)
+				}
+				seen[a], seen[b] = true, true
+			}
+			if m.Round() != started {
+				t.Fatalf("n=%d: round advanced mid-matching", n)
+			}
+		}
+	}
+}
+
+func TestMatchingCoversAgentsAcrossRounds(t *testing.T) {
+	p := core.MustNew(2)
+	n := 9
+	pop := population.New(p, n)
+	m := NewMatching(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 200; i++ {
+		a, b := m.Next(pop)
+		seen[a], seen[b] = true, true
+	}
+	if len(seen) != n {
+		t.Fatalf("only %d/%d agents ever scheduled", len(seen), n)
+	}
+}
+
+// The synchronous-matching dichotomy (see the Matching doc comment):
+// with EVEN n, every matching from the all-initial configuration pairs
+// identical I-states, so the population parity-flips in lockstep forever
+// and no agent ever leaves I; with ODD n the per-round idler breaks the
+// lock and the protocol stabilizes. (Tests drive the loop by hand:
+// importing sim here would create an import cycle, since sim imports
+// sched.)
+func TestMatchingParityLockEvenN(t *testing.T) {
+	p := core.MustNew(4)
+	pop := population.New(p, 24)
+	m := NewMatching(11)
+	for i := 0; i < 200_000; i++ {
+		a, b := m.Next(pop)
+		pop.Interact(a, b)
+	}
+	free := pop.Count(p.Initial()) + pop.Count(p.InitialBar())
+	if free != 24 {
+		t.Fatalf("even-n parity lock broken: %d agents escaped I", 24-free)
+	}
+}
+
+func TestMatchingStabilizesOddN(t *testing.T) {
+	p := core.MustNew(4)
+	pop := population.New(p, 25)
+	m := NewMatching(11)
+	for i := 0; i < 10_000_000; i++ {
+		a, b := m.Next(pop)
+		pop.Interact(a, b)
+		if p.IsStable(pop.CountsView()) {
+			if pop.Spread() > 1 {
+				t.Fatalf("spread %d", pop.Spread())
+			}
+			return
+		}
+	}
+	t.Fatal("matching scheduler failed to stabilize odd n within 10M interactions")
+}

@@ -1,0 +1,283 @@
+// Package stats provides the descriptive statistics and curve fits the
+// experiment harness uses to aggregate simulation trials and test the
+// paper's qualitative claims ("the number of interactions increases
+// exponentially with k but not exponentially with n", Section 5).
+//
+// Everything here is plain float64 arithmetic on small samples (the paper
+// uses 100 trials per point); numerical sophistication beyond two-pass
+// variance is unnecessary.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that need at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Summary holds the standard descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n−1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+	Q1, Q3 float64 // quartiles (linear interpolation)
+}
+
+// Summarize computes a Summary. It returns ErrEmpty for an empty sample.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = Quantile(sorted, 0.5)
+	s.Q1 = Quantile(sorted, 0.25)
+	s.Q3 = Quantile(sorted, 0.75)
+	return s, nil
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of an ASCENDING-sorted
+// sample using linear interpolation between order statistics. It panics on
+// an empty sample.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MeanUint64 averages a uint64 sample (the engine's interaction counters).
+func MeanUint64(xs []uint64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += float64(x)
+	}
+	return sum / float64(len(xs))
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean
+// under the normal approximation (1.96·s/√n). For the ~100-trial samples
+// of the paper's setup the normal approximation is adequate; callers
+// wanting small-sample rigor can widen with StudentT97_5.
+func CI95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	s, _ := Summarize(xs)
+	return 1.96 * s.Std / math.Sqrt(float64(s.N))
+}
+
+// StudentT97_5 returns the two-sided 95% Student-t critical value for the
+// given degrees of freedom, from the standard table with interpolation;
+// it converges to 1.96 for large df.
+func StudentT97_5(df int) float64 {
+	table := map[int]float64{
+		1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+		6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+		15: 2.131, 20: 2.086, 30: 2.042, 60: 2.000, 120: 1.980,
+	}
+	if df < 1 {
+		return math.NaN()
+	}
+	if v, ok := table[df]; ok {
+		return v
+	}
+	keys := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 15, 20, 30, 60, 120}
+	if df > 120 {
+		return 1.96
+	}
+	lo, hi := 1, 120
+	for _, k := range keys {
+		if k < df && k > lo {
+			lo = k
+		}
+		if k > df && k < hi {
+			hi = k
+		}
+	}
+	f := float64(df-lo) / float64(hi-lo)
+	return table[lo]*(1-f) + table[hi]*f
+}
+
+// LinearFit fits y = a + b·x by least squares and returns (a, b, r²).
+type LinearFit struct {
+	Intercept float64
+	Slope     float64
+	R2        float64
+}
+
+// FitLinear fits a straight line. It returns ErrEmpty when fewer than two
+// points are supplied or x is constant.
+func FitLinear(x, y []float64) (LinearFit, error) {
+	if len(x) != len(y) || len(x) < 2 {
+		return LinearFit{}, ErrEmpty
+	}
+	n := float64(len(x))
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, errors.New("stats: constant x")
+	}
+	b := sxy / sxx
+	fit := LinearFit{Intercept: my - b*mx, Slope: b}
+	if syy > 0 {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	} else {
+		fit.R2 = 1
+	}
+	_ = n
+	return fit, nil
+}
+
+// GrowthFit classifies how y grows with x by fitting three models and
+// comparing r² in the appropriate transformed space:
+//
+//	linear:      y = a + b·x
+//	power law:   y = A·x^p      (linear fit of log y vs log x)
+//	exponential: y = A·e^(c·x)  (linear fit of log y vs x)
+//
+// It is the mechanized version of the paper's Section 5 reading of
+// Figures 5 and 6: interactions grow "more than linearly but less than
+// exponentially" with n (power law wins over exponential) and
+// "exponentially" with k (exponential wins).
+type GrowthFit struct {
+	Linear      LinearFit // on (x, y)
+	Power       LinearFit // on (log x, log y); Slope is the exponent p
+	Exponential LinearFit // on (x, log y); Slope is the rate c
+}
+
+// FitGrowth fits the three models. All y (and, for the power law, x) must
+// be positive.
+func FitGrowth(x, y []float64) (GrowthFit, error) {
+	if len(x) != len(y) || len(x) < 2 {
+		return GrowthFit{}, ErrEmpty
+	}
+	logx := make([]float64, len(x))
+	logy := make([]float64, len(y))
+	for i := range x {
+		if x[i] <= 0 || y[i] <= 0 {
+			return GrowthFit{}, errors.New("stats: growth fits need positive data")
+		}
+		logx[i] = math.Log(x[i])
+		logy[i] = math.Log(y[i])
+	}
+	var g GrowthFit
+	var err error
+	if g.Linear, err = FitLinear(x, y); err != nil {
+		return g, err
+	}
+	if g.Power, err = FitLinear(logx, logy); err != nil {
+		return g, err
+	}
+	if g.Exponential, err = FitLinear(x, logy); err != nil {
+		return g, err
+	}
+	return g, nil
+}
+
+// BestModel returns which of the three growth models has the highest r²:
+// "linear", "power", or "exponential".
+func (g GrowthFit) BestModel() string {
+	best, name := g.Linear.R2, "linear"
+	if g.Power.R2 > best {
+		best, name = g.Power.R2, "power"
+	}
+	if g.Exponential.R2 > best {
+		name = "exponential"
+	}
+	return name
+}
+
+// Histogram bins xs into equal-width buckets over [min, max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+}
+
+// NewHistogram builds a histogram with the given number of buckets. It
+// returns ErrEmpty for empty input or non-positive bucket count.
+func NewHistogram(xs []float64, buckets int) (Histogram, error) {
+	if len(xs) == 0 || buckets <= 0 {
+		return Histogram{}, ErrEmpty
+	}
+	h := Histogram{Min: xs[0], Max: xs[0], Counts: make([]int, buckets)}
+	for _, x := range xs {
+		if x < h.Min {
+			h.Min = x
+		}
+		if x > h.Max {
+			h.Max = x
+		}
+	}
+	span := h.Max - h.Min
+	for _, x := range xs {
+		idx := 0
+		if span > 0 {
+			idx = int((x - h.Min) / span * float64(buckets))
+			if idx >= buckets {
+				idx = buckets - 1
+			}
+		}
+		h.Counts[idx]++
+	}
+	return h, nil
+}

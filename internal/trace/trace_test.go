@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/population"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func record(t *testing.T, n, k int, steps uint64) (*core.Protocol, *Recorder, sim.Result) {
+	t.Helper()
+	p := core.MustNew(k)
+	pop := population.New(p, n)
+	rec := &Recorder{}
+	res, err := sim.Run(pop, sched.NewRandom(42), sim.After{N: steps},
+		sim.Options{Hooks: []sim.Hook{rec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, rec, res
+}
+
+func TestRecorderCapturesAll(t *testing.T) {
+	_, rec, res := record(t, 10, 3, 500)
+	if uint64(len(rec.Events)) != res.Interactions {
+		t.Fatalf("recorded %d events for %d interactions", len(rec.Events), res.Interactions)
+	}
+	if rec.Header.N != 10 || rec.Header.Protocol != "uniform-3-partition" {
+		t.Fatalf("header %+v", rec.Header)
+	}
+	for i, e := range rec.Events {
+		if e.Step != uint64(i+1) {
+			t.Fatalf("event %d has step %d", i, e.Step)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	_, rec, _ := record(t, 8, 3, 300)
+	var buf bytes.Buffer
+	if err := rec.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	hdr, events, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr != rec.Header {
+		t.Fatalf("header mismatch: %+v vs %+v", hdr, rec.Header)
+	}
+	if len(events) != len(rec.Events) {
+		t.Fatalf("event count %d vs %d", len(events), len(rec.Events))
+	}
+	for i := range events {
+		if events[i] != rec.Events[i] {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, events[i], rec.Events[i])
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(strings.NewReader("")); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, _, err := Decode(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage header accepted")
+	}
+	if _, _, err := Decode(strings.NewReader(`{"protocol":"x","n":3,"states":4}` + "\ngarbage\n")); err == nil {
+		t.Error("garbage event accepted")
+	}
+}
+
+func TestReplayMatches(t *testing.T) {
+	p, rec, _ := record(t, 9, 4, 1000)
+	pop, err := Replay(p, rec.Header, rec.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pop.Interactions() != 1000 {
+		t.Fatalf("replay applied %d interactions", pop.Interactions())
+	}
+}
+
+func TestReplayDetectsTampering(t *testing.T) {
+	p, rec, _ := record(t, 9, 4, 200)
+
+	// Wrong protocol size.
+	if _, err := Replay(core.MustNew(5), rec.Header, rec.Events); !errors.Is(err, ErrDiverged) {
+		t.Errorf("state-count mismatch not detected: %v", err)
+	}
+
+	// Tamper with an event's before-state.
+	ev := append([]Event(nil), rec.Events...)
+	ev[50].BeforeP ^= 1
+	if _, err := Replay(p, rec.Header, ev); !errors.Is(err, ErrDiverged) {
+		t.Errorf("before-state tamper not detected: %v", err)
+	}
+
+	// Tamper with an after-state.
+	ev = append([]Event(nil), rec.Events...)
+	ev[10].AfterP = ev[10].BeforeP ^ 1
+	if _, err := Replay(p, rec.Header, ev); !errors.Is(err, ErrDiverged) {
+		t.Errorf("after-state tamper not detected: %v", err)
+	}
+
+	// Invalid pair.
+	ev = append([]Event(nil), rec.Events...)
+	ev[0].J = ev[0].I
+	if _, err := Replay(p, rec.Header, ev); !errors.Is(err, ErrDiverged) {
+		t.Errorf("self pair not detected: %v", err)
+	}
+}
+
+func TestWriterStreamsEquivalentTrace(t *testing.T) {
+	p := core.MustNew(3)
+	pop := population.New(p, 8)
+	var buf bytes.Buffer
+	w := &Writer{W: &buf}
+	if _, err := sim.Run(pop, sched.NewRandom(7), sim.After{N: 400},
+		sim.Options{Hooks: []sim.Hook{w}}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Err() != nil {
+		t.Fatal(w.Err())
+	}
+	hdr, events, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 400 {
+		t.Fatalf("streamed %d events", len(events))
+	}
+	if _, err := Replay(p, hdr, events); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Determinism: the same seed must produce bit-identical traces — the
+// reproducibility contract EXPERIMENTS.md relies on.
+func TestSameSeedSameTrace(t *testing.T) {
+	_, rec1, _ := record(t, 12, 4, 600)
+	_, rec2, _ := record(t, 12, 4, 600)
+	if len(rec1.Events) != len(rec2.Events) {
+		t.Fatal("trace lengths differ for identical seeds")
+	}
+	for i := range rec1.Events {
+		if rec1.Events[i] != rec2.Events[i] {
+			t.Fatalf("event %d differs across identical runs", i)
+		}
+	}
+}
