@@ -1,0 +1,31 @@
+# Tier-1 verification plus the slower guards. `make check` is what CI
+# (and ROADMAP.md's tier-1 line) runs; the individual targets exist so a
+# hot loop can run just the piece it touched.
+
+GO ?= go
+
+.PHONY: check build vet test race bench bench-json
+
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race pass over the concurrency-bearing packages: the obs metrics core
+# (atomic counters shared across workers), the parallel trial harness,
+# and the engine the trials drive.
+race:
+	$(GO) test -race ./internal/obs ./internal/harness ./internal/sim
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$
+
+# Machine-readable perf trajectory; compare BENCH_kpart.json across PRs.
+bench-json:
+	$(GO) run ./cmd/kpart-bench -out BENCH_kpart.json

@@ -1,0 +1,188 @@
+// Command kpart-bench is the machine-readable companion to the
+// bench_test.go families: it runs a fixed suite of representative
+// workload points (one per figure of the paper's evaluation, plus a raw
+// engine-throughput probe) and writes BENCH_kpart.json, so successive
+// PRs have a perf trajectory to compare against instead of eyeballing
+// `go test -bench` text output.
+//
+// Usage:
+//
+//	kpart-bench [-out BENCH_kpart.json] [-trials 5] [-debug-addr :6060]
+//
+// The seeds match bench_test.go's (StreamSeed(0xbe9c4, n, k, trial)),
+// so interactions/run agrees with the benchmarks point for point.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/population"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// benchPoint is one suite entry's aggregated outcome.
+type benchPoint struct {
+	Name   string `json:"name"`
+	N      int    `json:"n"`
+	K      int    `json:"k"`
+	Engine string `json:"engine"`
+	Trials int    `json:"trials"`
+	// MeanInteractions is the paper's y-axis, interactions/run.
+	MeanInteractions float64 `json:"mean_interactions"`
+	// Wall-clock per trial, nanoseconds.
+	WallNSMean   float64 `json:"wall_ns_mean"`
+	WallNSMedian float64 `json:"wall_ns_median"`
+	WallNSP90    float64 `json:"wall_ns_p90"`
+	// InteractionsPerSec is the simulator's own throughput at this point.
+	InteractionsPerSec float64 `json:"interactions_per_sec"`
+}
+
+// benchDoc is the BENCH_kpart.json document.
+type benchDoc struct {
+	CreatedAt  string       `json:"created_at"`
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Points     []benchPoint `json:"points"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_kpart.json", "output path for the benchmark document")
+		trials    = flag.Int("trials", 5, "trials per suite point")
+		debugAddr = flag.String("debug-addr", "", "serve pprof and /debug/vars on this address (e.g. :6060)")
+	)
+	flag.Parse()
+
+	if *debugAddr != "" {
+		ln, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "kpart-bench: debug server on http://%s/debug/pprof\n", ln.Addr())
+	}
+
+	doc := benchDoc{
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	// Representative points: one per benchmark family in bench_test.go,
+	// kept small enough that the suite finishes in well under a minute.
+	suite := []struct {
+		name   string
+		n, k   int
+		engine harness.Engine
+	}{
+		{"fig3/k=4/n=24", 24, 4, harness.EngineAgent},
+		{"fig3/k=6/n=36", 36, 6, harness.EngineAgent},
+		{"fig5/k=4/n=120", 120, 4, harness.EngineAgent},
+		{"fig6/k=8/n=960", 960, 8, harness.EngineAgent},
+		{"fig6-count/k=8/n=960", 960, 8, harness.EngineCount},
+		{"fig6-count/k=12/n=960", 960, 12, harness.EngineCount},
+	}
+	for _, s := range suite {
+		pt, err := runPoint(s.name, s.n, s.k, s.engine, *trials)
+		if err != nil {
+			fatal(err)
+		}
+		doc.Points = append(doc.Points, pt)
+		fmt.Printf("%-24s %12.0f interactions/run  %12s/trial  %10.3g interactions/sec\n",
+			pt.Name, pt.MeanInteractions,
+			time.Duration(pt.WallNSMedian).Round(time.Microsecond), pt.InteractionsPerSec)
+	}
+	doc.Points = append(doc.Points, engineThroughput())
+	last := doc.Points[len(doc.Points)-1]
+	fmt.Printf("%-24s %39s  %10.3g interactions/sec\n", last.Name, "(raw engine loop)", last.InteractionsPerSec)
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", *out)
+}
+
+// runPoint executes trials at one point and aggregates wall times and
+// interaction counts.
+func runPoint(name string, n, k int, engine harness.Engine, trials int) (benchPoint, error) {
+	engName := "agent"
+	if engine == harness.EngineCount {
+		engName = "count"
+	}
+	pt := benchPoint{Name: name, N: n, K: k, Engine: engName, Trials: trials}
+	var wallNS, interactions []float64
+	var totalI uint64
+	var totalWall time.Duration
+	for t := 0; t < trials; t++ {
+		start := time.Now()
+		res, err := harness.RunTrial(harness.TrialSpec{
+			N: n, K: k,
+			Seed:   rng.StreamSeed(0xbe9c4, uint64(n), uint64(k), uint64(t)),
+			Engine: engine,
+		})
+		wall := time.Since(start)
+		if err != nil {
+			return pt, fmt.Errorf("%s trial %d: %w", name, t, err)
+		}
+		if !res.Converged {
+			return pt, fmt.Errorf("%s trial %d did not stabilize", name, t)
+		}
+		wallNS = append(wallNS, float64(wall.Nanoseconds()))
+		interactions = append(interactions, float64(res.Interactions))
+		totalI += res.Interactions
+		totalWall += wall
+	}
+	pt.MeanInteractions = stats.Mean(interactions)
+	pt.WallNSMean = stats.Mean(wallNS)
+	pt.WallNSMedian = stats.QuantileOf(wallNS, 0.5)
+	pt.WallNSP90 = stats.QuantileOf(wallNS, 0.9)
+	if totalWall > 0 {
+		pt.InteractionsPerSec = float64(totalI) / totalWall.Seconds()
+	}
+	return pt, nil
+}
+
+// engineThroughput measures the raw agent-engine loop (scheduler +
+// interact, no stop condition), mirroring BenchmarkEngineThroughput: the
+// substrate cost every figure sits on and the number the <2% obs-off
+// regression budget is checked against.
+func engineThroughput() benchPoint {
+	const n, k, steps = 960, 8, 5_000_000
+	p := harness.Proto(k)
+	pop := population.New(p, n)
+	s := sched.NewRandom(1)
+	start := time.Now()
+	for i := 0; i < steps; i++ {
+		x, y := s.Next(pop)
+		pop.Interact(x, y)
+	}
+	wall := time.Since(start)
+	return benchPoint{
+		Name: "engine-throughput", N: n, K: k, Engine: "agent", Trials: 1,
+		WallNSMean:         float64(wall.Nanoseconds()) / steps,
+		WallNSMedian:       float64(wall.Nanoseconds()) / steps,
+		WallNSP90:          float64(wall.Nanoseconds()) / steps,
+		InteractionsPerSec: steps / wall.Seconds(),
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kpart-bench:", err)
+	os.Exit(1)
+}

@@ -22,22 +22,44 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which figure to run: 3, 4, 5, 6, or all")
-		trials  = flag.Int("trials", harness.DefaultTrials, "trials per parameter point")
-		seed    = flag.Uint64("seed", harness.DefaultSeed, "root seed")
-		outDir  = flag.String("out", "results", "directory for CSV output")
-		workers = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
-		quick   = flag.Bool("quick", false, "shrink all sweeps for a fast smoke run")
-		nmax    = flag.Int("nmax", 60, "fig3/4: maximum n")
-		fig6max = flag.Int("fig6max", 12, "fig6: largest k (divisor of 960)")
-		engine  = flag.String("engine", "agent", "simulation backend: agent or count (count skips null runs; same distribution, faster tails)")
+		fig       = flag.String("fig", "all", "which figure to run: 3, 4, 5, 6, or all")
+		trials    = flag.Int("trials", harness.DefaultTrials, "trials per parameter point")
+		seed      = flag.Uint64("seed", harness.DefaultSeed, "root seed")
+		outDir    = flag.String("out", "results", "directory for CSV output")
+		workers   = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+		quick     = flag.Bool("quick", false, "shrink all sweeps for a fast smoke run")
+		nmax      = flag.Int("nmax", 60, "fig3/4: maximum n")
+		fig6max   = flag.Int("fig6max", 12, "fig6: largest k (divisor of 960)")
+		engine    = flag.String("engine", "agent", "simulation backend: agent or count (count skips null runs; same distribution, faster tails)")
+		debugAddr = flag.String("debug-addr", "", "serve pprof and /debug/vars on this address (e.g. :6060)")
+		metrics   = flag.Bool("metrics", false, "record harness metrics; snapshot written to <out>/metrics.jsonl")
 	)
 	flag.Parse()
+
+	// Observability: with -metrics or -debug-addr the parallel trial
+	// runner records per-trial wall times, interaction histograms and
+	// convergence counters; /debug/vars exposes them live during a long
+	// sweep, and the snapshot lands next to the CSV/JSON results.
+	reg := obs.Nop()
+	if *metrics || *debugAddr != "" {
+		reg = obs.New("kpart_experiments")
+		reg.PublishExpvar()
+		harness.SetMetrics(reg)
+	}
+	if *debugAddr != "" {
+		ln, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kpart-experiments: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "kpart-experiments: debug server on http://%s/debug/pprof\n", ln.Addr())
+	}
 
 	var eng harness.Engine
 	switch *engine {
@@ -80,6 +102,14 @@ func main() {
 	run("4", func() error { return fig3(*trials, *seed, *outDir, *workers, *nmax, true, eng) })
 	run("5", func() error { return fig5(*trials, *seed, *outDir, *workers, *quick, eng) })
 	run("6", func() error { return fig6(*trials, *seed, *outDir, *workers, *fig6max, eng) })
+	if reg.Enabled() {
+		path, err := harness.SaveSnapshotJSONL(*outDir, "metrics.jsonl", reg.Snapshot())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kpart-experiments: writing metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+	}
 	if *fig == "traj" {
 		start := time.Now()
 		fmt.Println("=== Convergence trajectories (auxiliary) ===")

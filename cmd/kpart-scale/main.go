@@ -8,9 +8,15 @@
 //
 //	kpart-scale -n 100000 -k 8 -trials 5 [-seed 1]
 //	kpart-scale -n 960 -k 16,20,24 -trials 10     # extend Figure 6
+//	kpart-scale -n 1000000 -k 8 -progress 100000000 -debug-addr :6060
+//
+// Wall time is reported per trial as min/median/p90/max (the
+// stabilization-time distribution is heavy-tailed, so a mean alone
+// misleads); -json writes the full per-trial data machine-readably.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,19 +26,70 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/countsim"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
 
+// trialRecord is one trial's outcome in the JSON output.
+type trialRecord struct {
+	Trial        int     `json:"trial"`
+	Seed         uint64  `json:"seed"`
+	Interactions uint64  `json:"interactions"`
+	Productive   uint64  `json:"productive"`
+	WallMS       float64 `json:"wall_ms"`
+}
+
+// pointDoc aggregates one (n, k) point in the JSON output.
+type pointDoc struct {
+	N                int           `json:"n"`
+	K                int           `json:"k"`
+	Trials           int           `json:"trials"`
+	MeanInteractions float64       `json:"mean_interactions"`
+	CI95             float64       `json:"ci95"`
+	MeanProductive   float64       `json:"mean_productive"`
+	SkipFactor       float64       `json:"skip_factor"`
+	WallMS           wallSummary   `json:"wall_ms"`
+	PerTrial         []trialRecord `json:"per_trial"`
+}
+
+// wallSummary is the per-trial wall-time distribution in milliseconds.
+type wallSummary struct {
+	Min    float64 `json:"min"`
+	Median float64 `json:"median"`
+	P90    float64 `json:"p90"`
+	Max    float64 `json:"max"`
+	Mean   float64 `json:"mean"`
+}
+
+// resultDoc is the top-level JSON document.
+type resultDoc struct {
+	Command   string     `json:"command"`
+	Seed      uint64     `json:"seed"`
+	CreatedAt string     `json:"created_at"`
+	Points    []pointDoc `json:"points"`
+}
+
 func main() {
 	var (
-		n      = flag.Int("n", 100000, "population size")
-		ksFlag = flag.String("k", "8", "comma-separated group counts")
-		trials = flag.Int("trials", 5, "trials per k")
-		seed   = flag.Uint64("seed", 1, "root seed")
+		n         = flag.Int("n", 100000, "population size")
+		ksFlag    = flag.String("k", "8", "comma-separated group counts")
+		trials    = flag.Int("trials", 5, "trials per k")
+		seed      = flag.Uint64("seed", 1, "root seed")
+		jsonPath  = flag.String("json", "", "write per-trial results as JSON to this file")
+		debugAddr = flag.String("debug-addr", "", "serve pprof and /debug/vars on this address (e.g. :6060)")
+		progressN = flag.Uint64("progress", 0, "interactions between live progress reports (0 = off)")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		ln, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "kpart-scale: debug server on http://%s/debug/pprof\n", ln.Addr())
+	}
 
 	var ks []int
 	for _, part := range strings.Split(*ksFlag, ",") {
@@ -43,8 +100,13 @@ func main() {
 		ks = append(ks, k)
 	}
 
+	doc := resultDoc{
+		Command:   strings.Join(os.Args, " "),
+		Seed:      *seed,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+	}
 	tbl := report.NewTable("n", "k", "trials", "mean_interactions", "ci95",
-		"mean_productive", "skip_factor", "wall_per_trial")
+		"mean_productive", "skip_factor", "wall_min", "wall_median", "wall_p90", "wall_max")
 	for ki, k := range ks {
 		p, err := core.New(k)
 		if err != nil {
@@ -54,15 +116,31 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		var xs []float64
+		var xs, wallMS []float64
 		var productive, interactions uint64
-		start := time.Now()
+		pt := pointDoc{N: *n, K: k, Trials: *trials}
 		for t := 0; t < *trials; t++ {
-			s, err := countsim.New(p, *n, rng.StreamSeed(*seed, uint64(ki), uint64(t)))
+			trialSeed := rng.StreamSeed(*seed, uint64(ki), uint64(t))
+			s, err := countsim.New(p, *n, trialSeed)
 			if err != nil {
 				fatal(err)
 			}
-			ok, err := s.RunUntil(stable, 1<<62)
+			pred := stable
+			if *progressN > 0 {
+				prog := &obs.Progress{
+					Every: *progressN,
+					Label: fmt.Sprintf("n=%d k=%d trial %d", *n, k, t),
+				}
+				pred = func(counts []int) bool {
+					prog.MaybeReport(s.Interactions(), s.Productive(), func() int {
+						return spreadOf(p.GroupSizesFromCounts(counts))
+					})
+					return stable(counts)
+				}
+			}
+			start := time.Now()
+			ok, err := s.RunUntil(pred, 1<<62)
+			wall := time.Since(start)
 			if err != nil {
 				fatal(err)
 			}
@@ -70,16 +148,62 @@ func main() {
 				fatal(fmt.Errorf("n=%d k=%d trial %d did not stabilize", *n, k, t))
 			}
 			xs = append(xs, float64(s.Interactions()))
+			wallMS = append(wallMS, float64(wall)/float64(time.Millisecond))
 			interactions += s.Interactions()
 			productive += s.Productive()
+			pt.PerTrial = append(pt.PerTrial, trialRecord{
+				Trial: t, Seed: trialSeed,
+				Interactions: s.Interactions(), Productive: s.Productive(),
+				WallMS: float64(wall) / float64(time.Millisecond),
+			})
 		}
-		wall := time.Since(start) / time.Duration(*trials)
-		skip := float64(interactions) / float64(productive)
-		tbl.AddRow(*n, k, *trials, stats.Mean(xs), stats.CI95(xs),
-			float64(productive)/float64(*trials), skip, wall.Round(time.Millisecond).String())
+		pt.MeanInteractions = stats.Mean(xs)
+		pt.CI95 = stats.CI95(xs)
+		pt.MeanProductive = float64(productive) / float64(*trials)
+		pt.SkipFactor = float64(interactions) / float64(productive)
+		pt.WallMS = wallSummary{
+			Min:    stats.QuantileOf(wallMS, 0),
+			Median: stats.QuantileOf(wallMS, 0.5),
+			P90:    stats.QuantileOf(wallMS, 0.9),
+			Max:    stats.QuantileOf(wallMS, 1),
+			Mean:   stats.Mean(wallMS),
+		}
+		doc.Points = append(doc.Points, pt)
+		tbl.AddRow(*n, k, *trials, pt.MeanInteractions, pt.CI95,
+			pt.MeanProductive, pt.SkipFactor,
+			ms(pt.WallMS.Min), ms(pt.WallMS.Median), ms(pt.WallMS.P90), ms(pt.WallMS.Max))
 	}
 	fmt.Println("count-based engine (exact distribution, null runs skipped geometrically)")
 	tbl.WriteTo(os.Stdout)
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *jsonPath)
+	}
+}
+
+// ms renders a millisecond quantity as a duration string.
+func ms(v float64) string {
+	return time.Duration(v * float64(time.Millisecond)).Round(time.Millisecond).String()
+}
+
+// spreadOf returns max−min of a group-size vector.
+func spreadOf(sizes []int) int {
+	min, max := sizes[0], sizes[0]
+	for _, v := range sizes[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return max - min
 }
 
 func fatal(err error) {

@@ -5,6 +5,13 @@
 // Usage:
 //
 //	kpart -n 24 -k 4 [-seed 1] [-max 0] [-rules] [-trace out.jsonl] [-v]
+//	      [-metrics metrics.jsonl] [-debug-addr :6060] [-progress N]
+//
+// Observability: -metrics writes an internal/obs snapshot (per-rule
+// firing counts, phase timings, engine totals) as JSONL after the run;
+// -debug-addr serves live pprof and /debug/vars while the run is hot;
+// -v routes through the obs Progress reporter (interactions/sec,
+// productive %, spread) in addition to the per-grouping marks.
 //
 // Exit status is non-zero if the run hits the interaction cap before
 // stabilizing.
@@ -14,8 +21,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/population"
 	"repro/internal/protocol"
 	"repro/internal/sched"
@@ -32,7 +41,10 @@ func main() {
 		rules     = flag.Bool("rules", false, "print the protocol's transition rules and exit")
 		dot       = flag.Bool("dot", false, "print the protocol's state machine as Graphviz DOT and exit")
 		tracePath = flag.String("trace", "", "write a JSONL interaction trace to this file")
-		verbose   = flag.Bool("v", false, "print per-grouping progress marks")
+		verbose   = flag.Bool("v", false, "print live progress and per-grouping marks")
+		metrics   = flag.String("metrics", "", "write an obs metrics snapshot (JSONL) to this file")
+		debugAddr = flag.String("debug-addr", "", "serve pprof and /debug/vars on this address (e.g. :6060)")
+		progressN = flag.Uint64("progress", 0, "interactions between progress reports (0 = auto with -v)")
 	)
 	flag.Parse()
 
@@ -56,6 +68,22 @@ func main() {
 		fatal(fmt.Errorf("n must be >= 3 (symmetric protocols cannot partition n=2)"))
 	}
 
+	// The registry is enabled whenever someone will read it: a snapshot
+	// file, or live /debug/vars. With neither, it is the no-op registry
+	// and the instrumentation hooks are not attached at all.
+	reg := obs.Nop()
+	if *metrics != "" || *debugAddr != "" {
+		reg = obs.New("kpart")
+		reg.PublishExpvar()
+	}
+	if *debugAddr != "" {
+		ln, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "kpart: debug server on http://%s/debug/pprof (vars at /debug/vars)\n", ln.Addr())
+	}
+
 	target, err := p.TargetCounts(*n)
 	if err != nil {
 		fatal(err)
@@ -71,6 +99,21 @@ func main() {
 		tally.Observe(s.Before.P, s.Before.Q)
 	}))
 
+	if reg.Enabled() {
+		opts.Hooks = append(opts.Hooks, newRuleTally(reg, p), obs.NewPhaseTimer(reg, p.G(*k)))
+	}
+	if *verbose || *progressN > 0 {
+		capI := *maxI
+		if capI == 0 {
+			capI = sim.DefaultMaxInteractions
+		}
+		opts.Hooks = append(opts.Hooks, &obs.Progress{
+			Every: *progressN, // 0 = obs.DefaultProgressEvery
+			Cap:   capI,
+			Label: fmt.Sprintf("n=%d k=%d", *n, *k),
+		})
+	}
+
 	var traceFile *os.File
 	if *tracePath != "" {
 		traceFile, err = os.Create(*tracePath)
@@ -81,10 +124,12 @@ func main() {
 		opts.Hooks = append(opts.Hooks, &trace.Writer{W: traceFile})
 	}
 
+	start := time.Now()
 	res, err := sim.Run(pop, sched.NewRandom(*seed), sim.NewCountTarget(p.CanonMap(), target), opts)
 	if err != nil {
 		fatal(err)
 	}
+	wall := time.Since(start)
 
 	fmt.Printf("protocol   %s (%d states)\n", p.Name(), p.NumStates())
 	fmt.Printf("population n=%d, seed=%d\n", *n, *seed)
@@ -96,6 +141,9 @@ func main() {
 	fmt.Printf("group sizes %v (spread %d)\n", res.GroupSizes, res.Spread())
 	fmt.Printf("final config %s\n", pop)
 	if *verbose {
+		rate := float64(res.Interactions) / wall.Seconds()
+		fmt.Printf("wall time %v (%.3g interactions/sec), productive %.1f%%\n",
+			wall.Round(time.Microsecond), rate, 100*float64(res.Productive)/float64(res.Interactions))
 		for i, m := range gc.Marks {
 			fmt.Printf("  grouping %d complete at interaction %d\n", i+1, m)
 		}
@@ -107,9 +155,27 @@ func main() {
 		}
 		fmt.Printf("demolition fraction of productive interactions: %.4f\n", tally.DemolitionFraction())
 	}
+	if *metrics != "" {
+		if err := reg.Snapshot().WriteFile(*metrics); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote metrics snapshot %s\n", *metrics)
+	}
 	if !res.Converged {
 		os.Exit(1)
 	}
+}
+
+// newRuleTally wires the obs per-rule counters to Algorithm 1's rule
+// families via core's pair classifier.
+func newRuleTally(reg *obs.Registry, p *core.Protocol) *obs.RuleTally {
+	names := make([]string, 0, core.NumRuleKinds-1)
+	for kind := core.RuleNull + 1; int(kind) < core.NumRuleKinds; kind++ {
+		names = append(names, kind.String())
+	}
+	return obs.NewRuleTally(reg, names, func(a, b protocol.State) int {
+		return int(p.ClassifyPair(a, b)) - 1
+	})
 }
 
 func fatal(err error) {

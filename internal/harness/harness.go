@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/countsim"
@@ -84,8 +85,20 @@ func Proto(k int) *core.Protocol {
 	return p
 }
 
-// RunTrial executes one trial to stability (or the interaction cap).
+// RunTrial executes one trial to stability (or the interaction cap),
+// recording per-trial metrics when a registry is installed (SetMetrics).
 func RunTrial(spec TrialSpec) (TrialResult, error) {
+	reg := Metrics()
+	if !reg.Enabled() {
+		return runTrial(spec)
+	}
+	start := time.Now()
+	res, err := runTrial(spec)
+	observeTrial(reg, res, err, time.Since(start))
+	return res, err
+}
+
+func runTrial(spec TrialSpec) (TrialResult, error) {
 	p := Proto(spec.K)
 	target, err := p.TargetCounts(spec.N)
 	if err != nil {

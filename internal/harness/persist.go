@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Persistence: experiment results as JSON documents with enough metadata
@@ -42,6 +44,20 @@ func SaveJSON(dir, name string, doc ResultDoc) (string, error) {
 		return "", err
 	}
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// SaveSnapshotJSONL writes an obs metrics snapshot as JSON Lines into
+// dir (creating it), next to the experiment's result docs, so a run's
+// metrics travel with its results.
+func SaveSnapshotJSONL(dir, name string, snap obs.Snapshot) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name)
+	if err := snap.WriteFile(path); err != nil {
 		return "", err
 	}
 	return path, nil

@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+
+	// Register the standard debug handlers on http.DefaultServeMux:
+	// /debug/pprof/* (CPU, heap, goroutine, block, mutex profiles) and
+	// /debug/vars (expvar JSON, including any registry published via
+	// PublishExpvar).
+	_ "net/http/pprof"
+)
+
+// ServeDebug starts an HTTP server on addr (e.g. ":6060") serving the
+// process's debug endpoints — net/http/pprof under /debug/pprof and
+// expvar under /debug/vars — and returns the live listener so callers
+// can report the bound address (addr may use port 0). The server runs
+// until the process exits; long-running experiment binaries attach it
+// behind an opt-in -debug-addr flag so a hot run can be profiled without
+// editing code.
+func ServeDebug(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		// Serve exits only when the listener closes at process death;
+		// the error is of no interest to the simulation.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln, nil
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry is a named collection of metrics. Lookups are get-or-create
+// and safe for concurrent use; the returned metric values are atomic, so
+// the intended pattern is to resolve names once at wiring time and hold
+// the Counter/Gauge/Histogram on the hot path.
+//
+// A disabled Registry (see Nop) hands out shared no-op metrics, so
+// instrumented code never branches on whether observability is on.
+type Registry struct {
+	name    string
+	enabled bool
+
+	mu      sync.Mutex
+	kinds   map[string]string // name -> "counter"|"gauge"|"histogram"
+	counter map[string]*atomicCounter
+	gauge   map[string]*atomicGauge
+	hist    map[string]*atomicHistogram
+}
+
+// New returns an enabled registry identified by name (the name prefixes
+// expvar publication and snapshot documents).
+func New(name string) *Registry {
+	return &Registry{
+		name:    name,
+		enabled: true,
+		kinds:   make(map[string]string),
+		counter: make(map[string]*atomicCounter),
+		gauge:   make(map[string]*atomicGauge),
+		hist:    make(map[string]*atomicHistogram),
+	}
+}
+
+// nop is the shared disabled registry; all Nop() callers get the same one.
+var nop = &Registry{name: "nop"}
+
+// Nop returns the shared disabled registry: every metric it hands out is
+// a no-op and Snapshot returns no metrics.
+func Nop() *Registry { return nop }
+
+// Enabled reports whether this registry records anything.
+func (r *Registry) Enabled() bool { return r != nil && r.enabled }
+
+// Name returns the registry's name.
+func (r *Registry) Name() string { return r.name }
+
+// checkKind registers name under kind or panics on a kind conflict —
+// reusing one name for two metric types is a programming error.
+func (r *Registry) checkKind(name, kind string) {
+	if prev, ok := r.kinds[name]; ok && prev != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as both %s and %s", name, prev, kind))
+	}
+	r.kinds[name] = kind
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Disabled registries return a no-op.
+func (r *Registry) Counter(name string) Counter {
+	if !r.Enabled() {
+		return nopCounter{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkKind(name, "counter")
+	c, ok := r.counter[name]
+	if !ok {
+		c = &atomicCounter{}
+		r.counter[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. Disabled registries return a no-op.
+func (r *Registry) Gauge(name string) Gauge {
+	if !r.Enabled() {
+		return nopGauge{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkKind(name, "gauge")
+	g, ok := r.gauge[name]
+	if !ok {
+		g = &atomicGauge{}
+		r.gauge[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use. Disabled registries return a no-op.
+func (r *Registry) Histogram(name string) Histogram {
+	if !r.Enabled() {
+		return nopHistogram{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkKind(name, "histogram")
+	h, ok := r.hist[name]
+	if !ok {
+		h = &atomicHistogram{}
+		r.hist[name] = h
+	}
+	return h
+}
+
+// names returns all registered metric names, sorted, so snapshots are
+// stable across runs regardless of registration order.
+func (r *Registry) names() []string {
+	out := make([]string, 0, len(r.kinds))
+	for name := range r.kinds {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

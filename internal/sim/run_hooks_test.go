@@ -1,0 +1,179 @@
+package sim
+
+// Hook-semantics contract tests: the obs layer (internal/obs) and the
+// Figure 4 instrumentation both ride on exactly these guarantees, so
+// they are pinned here against engine drift:
+//
+//  1. hooks observe every applied step, including the final one (the
+//     step on which the stop condition fires);
+//  2. hooks run after the stop condition, in Options.Hooks order;
+//  3. a hook-counted tally of StepInfo.Changed equals Result.Productive.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/population"
+	"repro/internal/sched"
+)
+
+// logHook appends its tag to a shared log on Init and every step.
+type logHook struct {
+	tag   string
+	log   *[]string
+	steps uint64
+	inits int
+}
+
+func (h *logHook) Init(*population.Population) { h.inits++ }
+
+func (h *logHook) OnStep(pop *population.Population, s StepInfo) {
+	h.steps++
+	*h.log = append(*h.log, h.tag)
+}
+
+// logStop is a stop condition that also writes to the shared log, so
+// per-step ordering between condition and hooks is observable. It stops
+// after `after` applied interactions.
+type logStop struct {
+	log   *[]string
+	after uint64
+}
+
+func (c *logStop) Init(*population.Population) {}
+
+func (c *logStop) Step(pop *population.Population, s StepInfo) bool {
+	*c.log = append(*c.log, "stop")
+	return pop.Interactions() >= c.after
+}
+
+func TestHooksFireOnEveryAppliedStep(t *testing.T) {
+	p := core.MustNew(4)
+	pop := population.New(p, 20)
+	var log []string
+	h := &logHook{tag: "h", log: &log}
+	res, err := Run(pop, sched.NewRandom(1), Never{}, Options{
+		MaxInteractions: 500,
+		Hooks:           []Hook{h},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.inits != 1 {
+		t.Fatalf("Init called %d times, want 1", h.inits)
+	}
+	if h.steps != res.Interactions || h.steps != 500 {
+		t.Fatalf("hook saw %d steps, result has %d interactions", h.steps, res.Interactions)
+	}
+}
+
+func TestHooksSeeFinalStepAndRunAfterStop(t *testing.T) {
+	const stopAfter = 37
+	p := core.MustNew(3)
+	pop := population.New(p, 12)
+	var log []string
+	a := &logHook{tag: "a", log: &log}
+	b := &logHook{tag: "b", log: &log}
+	res, err := Run(pop, sched.NewRandom(2), &logStop{log: &log, after: stopAfter}, Options{
+		Hooks: []Hook{a, b},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Interactions != stopAfter {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	// Every applied step logs the triple (stop, a, b) — the hooks run
+	// after the stop condition and still observe the terminating step.
+	if len(log) != 3*stopAfter {
+		t.Fatalf("log has %d entries, want %d", len(log), 3*stopAfter)
+	}
+	for i := 0; i < len(log); i += 3 {
+		if log[i] != "stop" || log[i+1] != "a" || log[i+2] != "b" {
+			t.Fatalf("step %d ordered %v, want [stop a b]", i/3, log[i:i+3])
+		}
+	}
+	if a.steps != stopAfter || b.steps != stopAfter {
+		t.Fatalf("hooks saw %d/%d steps, want %d (final step included)", a.steps, b.steps, stopAfter)
+	}
+}
+
+func TestHookOrderingStableAcrossManySteps(t *testing.T) {
+	p := core.MustNew(4)
+	pop := population.New(p, 16)
+	var log []string
+	hooks := []Hook{
+		&logHook{tag: "h0", log: &log},
+		&logHook{tag: "h1", log: &log},
+		&logHook{tag: "h2", log: &log},
+	}
+	if _, err := Run(pop, sched.NewRandom(3), Never{}, Options{
+		MaxInteractions: 200,
+		Hooks:           hooks,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(log); i += 3 {
+		if log[i] != "h0" || log[i+1] != "h1" || log[i+2] != "h2" {
+			t.Fatalf("step %d ordered %v, want [h0 h1 h2]", i/3, log[i:i+3])
+		}
+	}
+}
+
+func TestProductiveMatchesHookTally(t *testing.T) {
+	p := core.MustNew(4)
+	pop := population.New(p, 24)
+	var productive, total uint64
+	counter := StepFunc(func(pop *population.Population, s StepInfo) {
+		total++
+		if s.Changed {
+			productive++
+		}
+	})
+	res, err := Run(pop, sched.NewRandom(4), mustTarget(t, p, 24), Options{
+		Hooks: []Hook{counter},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if total != res.Interactions {
+		t.Fatalf("hook counted %d steps, result has %d interactions", total, res.Interactions)
+	}
+	if productive != res.Productive {
+		t.Fatalf("hook counted %d productive steps, result says %d", productive, res.Productive)
+	}
+	// StepInfo must be self-consistent: Changed iff Before != After.
+	check := StepFunc(func(pop *population.Population, s StepInfo) {
+		if s.Changed == (s.Before == s.After) {
+			t.Fatalf("inconsistent StepInfo: %+v", s)
+		}
+	})
+	pop2 := population.New(p, 24)
+	if _, err := Run(pop2, sched.NewRandom(5), mustTarget(t, p, 24), Options{
+		Hooks: []Hook{check},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHooksNotSteppedOnPreSatisfiedStop(t *testing.T) {
+	p := core.MustNew(3)
+	pop := population.FromStates(p, []uint16{
+		p.G(1), p.G(1), p.G(2), p.G(2), p.G(3), p.G(3),
+	})
+	var log []string
+	h := &logHook{tag: "h", log: &log}
+	res, err := Run(pop, sched.NewRandom(1), mustTarget(t, p, 6), Options{Hooks: []Hook{h}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Interactions != 0 {
+		t.Fatalf("pre-satisfied run: %+v", res)
+	}
+	if h.inits != 1 || h.steps != 0 {
+		t.Fatalf("hook Init=%d steps=%d, want Init once and no steps", h.inits, h.steps)
+	}
+}

@@ -1,0 +1,26 @@
+package stats
+
+import "testing"
+
+func TestQuantileOf(t *testing.T) {
+	xs := []float64{9, 1, 5, 3, 7} // unsorted on purpose
+	if got := QuantileOf(xs, 0.5); got != 5 {
+		t.Fatalf("median = %v, want 5", got)
+	}
+	if got := QuantileOf(xs, 0); got != 1 {
+		t.Fatalf("min = %v, want 1", got)
+	}
+	if got := QuantileOf(xs, 1); got != 9 {
+		t.Fatalf("max = %v, want 9", got)
+	}
+	// The input must not be reordered.
+	if xs[0] != 9 || xs[4] != 7 {
+		t.Fatalf("QuantileOf mutated its input: %v", xs)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty sample did not panic")
+		}
+	}()
+	QuantileOf(nil, 0.5)
+}

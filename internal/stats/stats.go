@@ -84,6 +84,16 @@ func Quantile(sorted []float64, q float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// QuantileOf returns the q-quantile of an unsorted sample, copying and
+// sorting it first; convenience for callers (the scale and bench
+// binaries' per-trial wall times) that want min/median/p90/max off a
+// small raw sample. It panics on an empty sample, like Quantile.
+func QuantileOf(xs []float64, q float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Quantile(sorted, q)
+}
+
 // Mean returns the arithmetic mean, or 0 for an empty sample.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
