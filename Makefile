@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-json
+.PHONY: check build vet test race fuzz-smoke bench bench-json
 
 check: build vet test race
 
@@ -18,10 +18,20 @@ test:
 	$(GO) test ./...
 
 # Race pass over the concurrency-bearing packages: the obs metrics core
-# (atomic counters shared across workers), the parallel trial harness,
-# and the engine the trials drive.
+# (atomic counters shared across workers), the parallel trial harness
+# (whose journal is appended from every worker), the checkpoint layer,
+# and the two engines the trials drive. -short skips the minutes-long
+# statistical soaks (they run race-free under `test`); the concurrency
+# surface is fully covered either way.
 race:
-	$(GO) test -race ./internal/obs ./internal/harness ./internal/sim
+	$(GO) test -race -short ./internal/obs ./internal/harness ./internal/sim \
+		./internal/checkpoint ./internal/countsim
+
+# Short exploratory pass over every fuzz target (the plain corpora run
+# under `test`); a real campaign raises -fuzztime.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=5s ./internal/trace
+	$(GO) test -run='^$$' -fuzz=FuzzRestore -fuzztime=5s ./internal/checkpoint
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$

@@ -8,17 +8,26 @@
 // Usage:
 //
 //	kpart-bench [-out BENCH_kpart.json] [-trials 5] [-debug-addr :6060]
+//	kpart-bench -resume [-trial-timeout 5m] [-retries 1]
 //
 // The seeds match bench_test.go's (StreamSeed(0xbe9c4, n, k, trial)),
 // so interactions/run agrees with the benchmarks point for point.
+//
+// Completed suite trials are checkpointed to <out>.journal; after a
+// crash or SIGINT, -resume reuses them (including their recorded wall
+// times) instead of re-measuring from scratch.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"repro/internal/harness"
@@ -58,9 +67,12 @@ type benchDoc struct {
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_kpart.json", "output path for the benchmark document")
-		trials    = flag.Int("trials", 5, "trials per suite point")
-		debugAddr = flag.String("debug-addr", "", "serve pprof and /debug/vars on this address (e.g. :6060)")
+		out          = flag.String("out", "BENCH_kpart.json", "output path for the benchmark document")
+		trials       = flag.Int("trials", 5, "trials per suite point")
+		debugAddr    = flag.String("debug-addr", "", "serve pprof and /debug/vars on this address (e.g. :6060)")
+		resume       = flag.Bool("resume", false, "resume from <out>.journal, reusing completed suite trials")
+		trialTimeout = flag.Duration("trial-timeout", 0, "per-trial wall deadline (0 = none)")
+		retries      = flag.Int("retries", 0, "extra attempts for transiently failed trials")
 	)
 	flag.Parse()
 
@@ -70,6 +82,34 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "kpart-bench: debug server on http://%s/debug/pprof\n", ln.Addr())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
+	opts := harness.RunOptions{TrialTimeout: *trialTimeout, Retries: *retries}
+	journalPath := *out + ".journal"
+	meta := fmt.Sprintf("kpart-bench trials=%d", *trials)
+	var j *harness.Journal
+	{
+		var err error
+		if *resume {
+			j, err = harness.OpenJournal(journalPath, meta)
+		} else {
+			j, err = harness.CreateJournal(journalPath, meta)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		defer j.Close()
+		if *resume && j.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "kpart-bench: resuming, %d trials already journaled in %s\n", j.Len(), journalPath)
+		}
+		opts.Journal = j
 	}
 
 	doc := benchDoc{
@@ -95,8 +135,12 @@ func main() {
 		{"fig6-count/k=12/n=960", 960, 12, harness.EngineCount},
 	}
 	for _, s := range suite {
-		pt, err := runPoint(s.name, s.n, s.k, s.engine, *trials)
+		pt, err := runPoint(ctx, opts, s.name, s.n, s.k, s.engine, *trials)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "kpart-bench: interrupted; completed trials saved in %s — rerun with -resume to continue\n", journalPath)
+				os.Exit(130)
+			}
 			fatal(err)
 		}
 		doc.Points = append(doc.Points, pt)
@@ -119,8 +163,9 @@ func main() {
 }
 
 // runPoint executes trials at one point and aggregates wall times and
-// interaction counts.
-func runPoint(name string, n, k int, engine harness.Engine, trials int) (benchPoint, error) {
+// interaction counts. Journaled trials (a -resume run) contribute their
+// recorded wall times instead of being re-measured.
+func runPoint(ctx context.Context, opts harness.RunOptions, name string, n, k int, engine harness.Engine, trials int) (benchPoint, error) {
 	engName := "agent"
 	if engine == harness.EngineCount {
 		engName = "count"
@@ -130,15 +175,26 @@ func runPoint(name string, n, k int, engine harness.Engine, trials int) (benchPo
 	var totalI uint64
 	var totalWall time.Duration
 	for t := 0; t < trials; t++ {
-		start := time.Now()
-		res, err := harness.RunTrial(harness.TrialSpec{
+		spec := harness.TrialSpec{
 			N: n, K: k,
 			Seed:   rng.StreamSeed(0xbe9c4, uint64(n), uint64(k), uint64(t)),
 			Engine: engine,
-		})
-		wall := time.Since(start)
-		if err != nil {
-			return pt, fmt.Errorf("%s trial %d: %w", name, t, err)
+		}
+		var res harness.TrialResult
+		var wall time.Duration
+		if e, ok := opts.Journal.Lookup(spec); ok {
+			res, wall = e.Result, time.Duration(e.WallUS)*time.Microsecond
+		} else {
+			start := time.Now()
+			r, err := harness.RunTrialCtx(ctx, spec, opts)
+			wall = time.Since(start)
+			if err != nil {
+				return pt, fmt.Errorf("%s trial %d: %w", name, t, err)
+			}
+			res = r
+			if err := opts.Journal.Append(spec, res, wall); err != nil {
+				return pt, err
+			}
 		}
 		if !res.Converged {
 			return pt, fmt.Errorf("%s trial %d did not stabilize", name, t)

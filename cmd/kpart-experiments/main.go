@@ -9,16 +9,27 @@
 // Usage:
 //
 //	kpart-experiments -fig all [-trials 100] [-seed 20180725] [-out results] [-quick]
+//	kpart-experiments -fig 6 -resume [-trial-timeout 10m] [-retries 2]
 //
 // -quick shrinks every sweep (fewer trials, smaller ranges) to finish in
 // seconds; use it to smoke-test the harness before a full reproduction.
+//
+// Long campaigns are resilient: every completed trial is checkpointed to
+// an append-only journal next to the CSVs (<out>/<fig>.journal), SIGINT
+// drains gracefully (in-flight trials abort, completed ones are already
+// journaled), and rerunning with -resume picks up exactly where the run
+// stopped — the final CSVs are identical to an uninterrupted run's.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-
+	"os/signal"
+	"path/filepath"
+	"syscall"
 	"time"
 
 	"repro/internal/harness"
@@ -28,24 +39,29 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "which figure to run: 3, 4, 5, 6, or all")
-		trials    = flag.Int("trials", harness.DefaultTrials, "trials per parameter point")
-		seed      = flag.Uint64("seed", harness.DefaultSeed, "root seed")
-		outDir    = flag.String("out", "results", "directory for CSV output")
-		workers   = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
-		quick     = flag.Bool("quick", false, "shrink all sweeps for a fast smoke run")
-		nmax      = flag.Int("nmax", 60, "fig3/4: maximum n")
-		fig6max   = flag.Int("fig6max", 12, "fig6: largest k (divisor of 960)")
-		engine    = flag.String("engine", "agent", "simulation backend: agent or count (count skips null runs; same distribution, faster tails)")
-		debugAddr = flag.String("debug-addr", "", "serve pprof and /debug/vars on this address (e.g. :6060)")
-		metrics   = flag.Bool("metrics", false, "record harness metrics; snapshot written to <out>/metrics.jsonl")
+		fig          = flag.String("fig", "all", "which figure to run: 3, 4, 5, 6, or all")
+		trials       = flag.Int("trials", harness.DefaultTrials, "trials per parameter point")
+		seed         = flag.Uint64("seed", harness.DefaultSeed, "root seed")
+		outDir       = flag.String("out", "results", "directory for CSV output")
+		workers      = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+		quick        = flag.Bool("quick", false, "shrink all sweeps for a fast smoke run")
+		nmax         = flag.Int("nmax", 60, "fig3/4: maximum n")
+		fig6max      = flag.Int("fig6max", 12, "fig6: largest k (divisor of 960)")
+		engine       = flag.String("engine", "agent", "simulation backend: agent or count (count skips null runs; same distribution, faster tails)")
+		debugAddr    = flag.String("debug-addr", "", "serve pprof and /debug/vars on this address (e.g. :6060)")
+		metrics      = flag.Bool("metrics", false, "record harness metrics; snapshot written to <out>/metrics.jsonl")
+		resume       = flag.Bool("resume", false, "resume from existing <out>/<fig>.journal files instead of starting fresh")
+		trialTimeout = flag.Duration("trial-timeout", 0, "per-trial wall deadline (0 = none); timed-out trials are retried under derived seeds")
+		retries      = flag.Int("retries", 0, "extra attempts for transiently failed trials (deterministic retry seeds)")
 	)
 	flag.Parse()
 
 	// Observability: with -metrics or -debug-addr the parallel trial
-	// runner records per-trial wall times, interaction histograms and
-	// convergence counters; /debug/vars exposes them live during a long
-	// sweep, and the snapshot lands next to the CSV/JSON results.
+	// runner records per-trial wall times, interaction histograms,
+	// convergence counters, and the resilience counters
+	// (retries/timeouts/canceled/resumed); /debug/vars exposes them live
+	// during a long sweep, and the snapshot lands next to the CSV/JSON
+	// results — including on an interrupted exit.
 	reg := obs.Nop()
 	if *metrics || *debugAddr != "" {
 		reg = obs.New("kpart_experiments")
@@ -84,25 +100,22 @@ func main() {
 		}
 	}
 
-	run := func(name string, f func() error) {
-		want := *fig == "all" || *fig == name || *fig == "fig"+name
-		if !want {
+	// First SIGINT/SIGTERM cancels the context: dispatch stops, in-flight
+	// trials abort at their next poll, completed trials are already in
+	// the journal. A second signal kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
+	opts := harness.RunOptions{TrialTimeout: *trialTimeout, Retries: *retries}
+
+	flushMetrics := func() {
+		if !reg.Enabled() {
 			return
 		}
-		start := time.Now()
-		fmt.Printf("=== Figure %s ===\n", name)
-		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "kpart-experiments: figure %s: %v\n", name, err)
-			os.Exit(1)
-		}
-		fmt.Printf("(figure %s done in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
-	}
-
-	run("3", func() error { return fig3(*trials, *seed, *outDir, *workers, *nmax, false, eng) })
-	run("4", func() error { return fig3(*trials, *seed, *outDir, *workers, *nmax, true, eng) })
-	run("5", func() error { return fig5(*trials, *seed, *outDir, *workers, *quick, eng) })
-	run("6", func() error { return fig6(*trials, *seed, *outDir, *workers, *fig6max, eng) })
-	if reg.Enabled() {
 		path, err := harness.SaveSnapshotJSONL(*outDir, "metrics.jsonl", reg.Snapshot())
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "kpart-experiments: writing metrics: %v\n", err)
@@ -110,6 +123,65 @@ func main() {
 		}
 		fmt.Println("wrote", path)
 	}
+
+	// openJournal attaches the figure's checkpoint journal to opts. The
+	// campaign meta string ties the journal to this exact sweep shape, so
+	// -resume refuses a journal written under different parameters.
+	openJournal := func(name string) (*harness.Journal, error) {
+		path := filepath.Join(*outDir, name+".journal")
+		meta := fmt.Sprintf("%s seed=%d trials=%d engine=%s nmax=%d fig6max=%d quick=%t",
+			name, *seed, *trials, *engine, *nmax, *fig6max, *quick)
+		if *resume {
+			return harness.OpenJournal(path, meta)
+		}
+		return harness.CreateJournal(path, meta)
+	}
+
+	run := func(name string, f func(ctx context.Context, opts harness.RunOptions) error) {
+		want := *fig == "all" || *fig == name || *fig == "fig"+name
+		if !want {
+			return
+		}
+		start := time.Now()
+		fmt.Printf("=== Figure %s ===\n", name)
+		j, err := openJournal("fig" + name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kpart-experiments: figure %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *resume && j.Len() > 0 {
+			fmt.Printf("(resuming: %d trials already journaled in %s)\n", j.Len(), j.Path())
+		}
+		figOpts := opts
+		figOpts.Journal = j
+		err = f(ctx, figOpts)
+		j.Close()
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "kpart-experiments: figure %s interrupted; completed trials saved in %s\n", name, j.Path())
+				fmt.Fprintf(os.Stderr, "kpart-experiments: rerun the same command with -resume to continue\n")
+				flushMetrics()
+				os.Exit(130)
+			}
+			fmt.Fprintf(os.Stderr, "kpart-experiments: figure %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(figure %s done in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("3", func(ctx context.Context, o harness.RunOptions) error {
+		return fig3(ctx, o, *trials, *seed, *outDir, *workers, *nmax, false, eng)
+	})
+	run("4", func(ctx context.Context, o harness.RunOptions) error {
+		return fig3(ctx, o, *trials, *seed, *outDir, *workers, *nmax, true, eng)
+	})
+	run("5", func(ctx context.Context, o harness.RunOptions) error {
+		return fig5(ctx, o, *trials, *seed, *outDir, *workers, *quick, eng)
+	})
+	run("6", func(ctx context.Context, o harness.RunOptions) error {
+		return fig6(ctx, o, *trials, *seed, *outDir, *workers, *fig6max, eng)
+	})
+	flushMetrics()
 	if *fig == "traj" {
 		start := time.Now()
 		fmt.Println("=== Convergence trajectories (auxiliary) ===")
@@ -141,12 +213,12 @@ func traj(trials int, seed uint64, outDir string) error {
 	return nil
 }
 
-func fig3(trials int, seed uint64, outDir string, workers, nmax int, grouping bool, eng harness.Engine) error {
+func fig3(ctx context.Context, opts harness.RunOptions, trials int, seed uint64, outDir string, workers, nmax int, grouping bool, eng harness.Engine) error {
 	cfg := harness.Fig3Config{
 		Ks: []int{4, 6, 8}, NMax: nmax, NStep: 1,
 		Trials: trials, Seed: seed, Workers: workers, Grouping: grouping, Engine: eng,
 	}
-	series, err := harness.RunFig3(cfg)
+	series, err := harness.RunFig3Ctx(ctx, cfg, opts)
 	if err != nil {
 		return err
 	}
@@ -190,13 +262,13 @@ func fig3(trials int, seed uint64, outDir string, workers, nmax int, grouping bo
 	return nil
 }
 
-func fig5(trials int, seed uint64, outDir string, workers int, quick bool, eng harness.Engine) error {
+func fig5(ctx context.Context, opts harness.RunOptions, trials int, seed uint64, outDir string, workers int, quick bool, eng harness.Engine) error {
 	cfg := harness.Fig5Config{Trials: trials, Seed: seed, Workers: workers, Engine: eng}
 	if quick {
 		cfg.Base = 60
 		cfg.NFactors = []int{1, 2, 3, 4}
 	}
-	series, err := harness.RunFig5(cfg)
+	series, err := harness.RunFig5Ctx(ctx, cfg, opts)
 	if err != nil {
 		return err
 	}
@@ -232,7 +304,7 @@ func fig5(trials int, seed uint64, outDir string, workers int, quick bool, eng h
 	return nil
 }
 
-func fig6(trials int, seed uint64, outDir string, workers, kmax int, eng harness.Engine) error {
+func fig6(ctx context.Context, opts harness.RunOptions, trials int, seed uint64, outDir string, workers, kmax int, eng harness.Engine) error {
 	var ks []int
 	for _, k := range []int{2, 3, 4, 5, 6, 8, 10, 12, 15, 16, 20, 24} {
 		if k <= kmax {
@@ -240,7 +312,7 @@ func fig6(trials int, seed uint64, outDir string, workers, kmax int, eng harness
 		}
 	}
 	cfg := harness.Fig6Config{Ks: ks, Trials: trials, Seed: seed, Workers: workers, Engine: eng}
-	pts, err := harness.RunFig6(cfg)
+	pts, err := harness.RunFig6Ctx(ctx, cfg, opts)
 	if err != nil {
 		return err
 	}

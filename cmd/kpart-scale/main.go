@@ -9,23 +9,33 @@
 //	kpart-scale -n 100000 -k 8 -trials 5 [-seed 1]
 //	kpart-scale -n 960 -k 16,20,24 -trials 10     # extend Figure 6
 //	kpart-scale -n 1000000 -k 8 -progress 100000000 -debug-addr :6060
+//	kpart-scale -n 10000000 -k 8 -journal scale.journal -trial-timeout 2h -retries 1
+//	kpart-scale -n 10000000 -k 8 -journal scale.journal -resume   # after a crash/SIGINT
 //
 // Wall time is reported per trial as min/median/p90/max (the
 // stabilization-time distribution is heavy-tailed, so a mean alone
 // misleads); -json writes the full per-trial data machine-readably.
+//
+// Trials at this scale run for hours, so the binary is interruptible:
+// with -journal each completed trial is checkpointed, SIGINT drains
+// gracefully, and -resume skips everything already journaled (resumed
+// trials reuse their recorded wall times in the summary).
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/countsim"
+	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/rng"
@@ -39,6 +49,8 @@ type trialRecord struct {
 	Interactions uint64  `json:"interactions"`
 	Productive   uint64  `json:"productive"`
 	WallMS       float64 `json:"wall_ms"`
+	Resumed      bool    `json:"resumed,omitempty"`
+	Attempts     int     `json:"attempts,omitempty"`
 }
 
 // pointDoc aggregates one (n, k) point in the JSON output.
@@ -68,18 +80,23 @@ type resultDoc struct {
 	Command   string     `json:"command"`
 	Seed      uint64     `json:"seed"`
 	CreatedAt string     `json:"created_at"`
+	Resumed   int        `json:"resumed_trials,omitempty"`
 	Points    []pointDoc `json:"points"`
 }
 
 func main() {
 	var (
-		n         = flag.Int("n", 100000, "population size")
-		ksFlag    = flag.String("k", "8", "comma-separated group counts")
-		trials    = flag.Int("trials", 5, "trials per k")
-		seed      = flag.Uint64("seed", 1, "root seed")
-		jsonPath  = flag.String("json", "", "write per-trial results as JSON to this file")
-		debugAddr = flag.String("debug-addr", "", "serve pprof and /debug/vars on this address (e.g. :6060)")
-		progressN = flag.Uint64("progress", 0, "interactions between live progress reports (0 = off)")
+		n            = flag.Int("n", 100000, "population size")
+		ksFlag       = flag.String("k", "8", "comma-separated group counts")
+		trials       = flag.Int("trials", 5, "trials per k")
+		seed         = flag.Uint64("seed", 1, "root seed")
+		jsonPath     = flag.String("json", "", "write per-trial results as JSON to this file")
+		debugAddr    = flag.String("debug-addr", "", "serve pprof and /debug/vars on this address (e.g. :6060)")
+		progressN    = flag.Uint64("progress", 0, "interactions between live progress reports (0 = off)")
+		journalPath  = flag.String("journal", "", "checkpoint completed trials to this journal file")
+		resume       = flag.Bool("resume", false, "resume from -journal, skipping already-completed trials")
+		trialTimeout = flag.Duration("trial-timeout", 0, "per-trial wall deadline (0 = none); timed-out trials retry under derived seeds")
+		retries      = flag.Int("retries", 0, "extra attempts for transiently failed trials")
 	)
 	flag.Parse()
 
@@ -100,6 +117,39 @@ func main() {
 		ks = append(ks, k)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop() // second signal kills the process the default way
+	}()
+
+	opts := harness.RunOptions{
+		TrialTimeout: *trialTimeout,
+		Retries:      *retries,
+		Progress:     *progressN,
+	}
+	var j *harness.Journal
+	if *resume && *journalPath == "" {
+		fatal(errors.New("-resume requires -journal"))
+	}
+	if *journalPath != "" {
+		meta := fmt.Sprintf("kpart-scale n=%d k=%s trials=%d seed=%d", *n, *ksFlag, *trials, *seed)
+		var err error
+		if *resume {
+			j, err = harness.OpenJournal(*journalPath, meta)
+		} else {
+			j, err = harness.CreateJournal(*journalPath, meta)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		defer j.Close()
+		if *resume && j.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "kpart-scale: resuming, %d trials already journaled in %s\n", j.Len(), *journalPath)
+		}
+	}
+
 	doc := resultDoc{
 		Command:   strings.Join(os.Args, " "),
 		Seed:      *seed,
@@ -108,53 +158,54 @@ func main() {
 	tbl := report.NewTable("n", "k", "trials", "mean_interactions", "ci95",
 		"mean_productive", "skip_factor", "wall_min", "wall_median", "wall_p90", "wall_max")
 	for ki, k := range ks {
-		p, err := core.New(k)
-		if err != nil {
-			fatal(err)
-		}
-		stable, err := p.StableChecker(*n)
-		if err != nil {
-			fatal(err)
-		}
 		var xs, wallMS []float64
 		var productive, interactions uint64
 		pt := pointDoc{N: *n, K: k, Trials: *trials}
 		for t := 0; t < *trials; t++ {
-			trialSeed := rng.StreamSeed(*seed, uint64(ki), uint64(t))
-			s, err := countsim.New(p, *n, trialSeed)
-			if err != nil {
-				fatal(err)
+			spec := harness.TrialSpec{
+				N: *n, K: k,
+				Seed:            rng.StreamSeed(*seed, uint64(ki), uint64(t)),
+				MaxInteractions: 1 << 62,
+				Engine:          harness.EngineCount,
 			}
-			pred := stable
-			if *progressN > 0 {
-				prog := &obs.Progress{
-					Every: *progressN,
-					Label: fmt.Sprintf("n=%d k=%d trial %d", *n, k, t),
-				}
-				pred = func(counts []int) bool {
-					prog.MaybeReport(s.Interactions(), s.Productive(), func() int {
-						return spreadOf(p.GroupSizesFromCounts(counts))
-					})
-					return stable(counts)
+			var res harness.TrialResult
+			var wall time.Duration
+			resumed := false
+			if j != nil {
+				if e, ok := j.Lookup(spec); ok {
+					res, wall, resumed = e.Result, time.Duration(e.WallUS)*time.Microsecond, true
+					doc.Resumed++
 				}
 			}
-			start := time.Now()
-			ok, err := s.RunUntil(pred, 1<<62)
-			wall := time.Since(start)
-			if err != nil {
-				fatal(err)
+			if !resumed {
+				start := time.Now()
+				r, err := harness.RunTrialCtx(ctx, spec, opts)
+				wall = time.Since(start)
+				if err != nil {
+					if errors.Is(err, context.Canceled) {
+						interrupted(j)
+					}
+					fatal(err)
+				}
+				if !r.Converged {
+					fatal(fmt.Errorf("n=%d k=%d trial %d did not stabilize", *n, k, t))
+				}
+				res = r
+				if j != nil {
+					if err := j.Append(spec, res, wall); err != nil {
+						fatal(err)
+					}
+				}
 			}
-			if !ok {
-				fatal(fmt.Errorf("n=%d k=%d trial %d did not stabilize", *n, k, t))
-			}
-			xs = append(xs, float64(s.Interactions()))
+			xs = append(xs, float64(res.Interactions))
 			wallMS = append(wallMS, float64(wall)/float64(time.Millisecond))
-			interactions += s.Interactions()
-			productive += s.Productive()
+			interactions += res.Interactions
+			productive += res.Productive
 			pt.PerTrial = append(pt.PerTrial, trialRecord{
-				Trial: t, Seed: trialSeed,
-				Interactions: s.Interactions(), Productive: s.Productive(),
-				WallMS: float64(wall) / float64(time.Millisecond),
+				Trial: t, Seed: spec.Seed,
+				Interactions: res.Interactions, Productive: res.Productive,
+				WallMS:  float64(wall) / float64(time.Millisecond),
+				Resumed: resumed, Attempts: res.Attempts,
 			})
 		}
 		pt.MeanInteractions = stats.Mean(xs)
@@ -175,6 +226,9 @@ func main() {
 	}
 	fmt.Println("count-based engine (exact distribution, null runs skipped geometrically)")
 	tbl.WriteTo(os.Stdout)
+	if doc.Resumed > 0 {
+		fmt.Printf("(%d of %d trials resumed from journal)\n", doc.Resumed, len(ks)**trials)
+	}
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
@@ -187,23 +241,20 @@ func main() {
 	}
 }
 
+// interrupted reports a graceful SIGINT drain and exits 130.
+func interrupted(j *harness.Journal) {
+	if j != nil {
+		j.Close()
+		fmt.Fprintf(os.Stderr, "kpart-scale: interrupted; completed trials saved in %s — rerun with -resume to continue\n", j.Path())
+	} else {
+		fmt.Fprintln(os.Stderr, "kpart-scale: interrupted (run with -journal to make runs resumable)")
+	}
+	os.Exit(130)
+}
+
 // ms renders a millisecond quantity as a duration string.
 func ms(v float64) string {
 	return time.Duration(v * float64(time.Millisecond)).Round(time.Millisecond).String()
-}
-
-// spreadOf returns max−min of a group-size vector.
-func spreadOf(sizes []int) int {
-	min, max := sizes[0], sizes[0]
-	for _, v := range sizes[1:] {
-		if v < min {
-			min = v
-		}
-		if v > max {
-			max = v
-		}
-	}
-	return max - min
 }
 
 func fatal(err error) {

@@ -61,12 +61,16 @@ func Capture(pop *population.Population, s sched.Scheduler) (Snapshot, error) {
 var (
 	ErrProtocolMismatch  = errors.New("checkpoint: protocol does not match snapshot")
 	ErrSchedulerMismatch = errors.New("checkpoint: scheduler does not match snapshot")
+	ErrCorruptSnapshot   = errors.New("checkpoint: corrupt snapshot")
 )
 
 // Restore rebuilds the population from a snapshot and rehydrates the
 // scheduler's generator. The caller supplies a protocol equal to the one
 // captured (verified by name and state count) and a scheduler of the same
-// kind.
+// kind. Snapshots come from files, so every field is treated as hostile:
+// mismatched metadata, out-of-range states, inconsistent counters, and
+// undersized populations all return errors rather than panicking (the
+// FuzzRestore test pins this down).
 func Restore(p protocol.Protocol, s sched.Scheduler, snap Snapshot) (*population.Population, error) {
 	if p.Name() != snap.Protocol || p.NumStates() != snap.NumStates {
 		return nil, fmt.Errorf("%w: snapshot has %q/%d, got %q/%d",
@@ -74,6 +78,19 @@ func Restore(p protocol.Protocol, s sched.Scheduler, snap Snapshot) (*population
 	}
 	if s.Name() != snap.Scheduler {
 		return nil, fmt.Errorf("%w: snapshot has %q, got %q", ErrSchedulerMismatch, snap.Scheduler, s.Name())
+	}
+	if len(snap.States) < 2 {
+		return nil, fmt.Errorf("%w: %d agent states (need >= 2)", ErrCorruptSnapshot, len(snap.States))
+	}
+	for i, st := range snap.States {
+		if int(st) >= p.NumStates() {
+			return nil, fmt.Errorf("%w: agent %d in state %d, protocol has %d states",
+				ErrCorruptSnapshot, i, st, p.NumStates())
+		}
+	}
+	if snap.Productive > snap.Interactions {
+		return nil, fmt.Errorf("%w: productive %d exceeds interactions %d",
+			ErrCorruptSnapshot, snap.Productive, snap.Interactions)
 	}
 	if len(snap.RNGState) > 0 {
 		c, ok := s.(RNGCarrier)

@@ -1,0 +1,78 @@
+package checkpoint
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/population"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// FuzzRestore hardens the snapshot path against hostile files: Read
+// followed by Restore must never panic, whatever the bytes — corrupted
+// JSON, truncated documents, out-of-range agent states, inconsistent
+// counters, and mismatched protocol/scheduler metadata all have to come
+// back as errors. Anything Restore does accept must rebuild a population
+// that round-trips through Capture bit-exactly (no silent mangling).
+// Seeded with a genuine snapshot plus characteristic mutations; `go test`
+// replays the corpus, `make fuzz-smoke` explores further.
+func FuzzRestore(f *testing.F) {
+	p := core.MustNew(3)
+	pop := population.New(p, 8)
+	s := sched.NewRandom(5)
+	if _, err := sim.Run(pop, s, sim.After{N: 200}, sim.Options{}); err != nil {
+		f.Fatal(err)
+	}
+	snap, err := Capture(pop, s)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, snap); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.String()
+	f.Add(valid)
+	f.Add("")
+	f.Add("{}")
+	f.Add("not json")
+	f.Add(valid[:len(valid)/2])                                           // truncated mid-document
+	f.Add(strings.Replace(valid, `"states": 10`, `"states": 3`, 1))       // metadata mismatch
+	f.Add(strings.Replace(valid, `"scheduler": "random"`, `"scheduler": "sweep"`, 1))
+	f.Add(strings.Replace(valid, `"productive":`, `"productive": 1e9, "x":`, 1)) // productive > interactions
+	f.Add(strings.Replace(valid, `"agent_states": [`, `"agent_states": [60000,`, 1)) // out-of-range state
+	f.Add(strings.Replace(valid, `"agent_states": [`, `"agent_states_x": [`, 1))     // no states at all
+	f.Add(strings.Replace(valid, `"rng_state":`, `"rng_state": "/w==", "x":`, 1))    // corrupt generator blob
+
+	f.Fuzz(func(t *testing.T, data string) {
+		snap, err := Read(strings.NewReader(data))
+		if err != nil {
+			return // rejected at decode; fine
+		}
+		pop2, err := Restore(p, sched.NewRandom(0), snap)
+		if err != nil {
+			return // rejected at validation; fine
+		}
+		// Accepted: the restored run must be internally consistent and
+		// re-capture to the same snapshot fields.
+		if pop2.Interactions() != snap.Interactions || pop2.Productive() != snap.Productive {
+			t.Fatalf("counters mangled: %d/%d vs %d/%d",
+				pop2.Interactions(), pop2.Productive(), snap.Interactions, snap.Productive)
+		}
+		re, err := Capture(pop2, sched.NewRandom(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(re.States) != len(snap.States) {
+			t.Fatalf("state vector length changed: %d vs %d", len(re.States), len(snap.States))
+		}
+		for i := range re.States {
+			if re.States[i] != snap.States[i] {
+				t.Fatalf("agent %d state mangled: %d vs %d", i, re.States[i], snap.States[i])
+			}
+		}
+	})
+}

@@ -26,6 +26,7 @@
 package countsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -277,10 +278,33 @@ func (s *Sim) apply(a, b int) (protocol.Pair, protocol.Pair, error) {
 // the interaction cap is exceeded; it reports whether pred fired. A
 // quiescent configuration returns pred's final verdict.
 func (s *Sim) RunUntil(pred func(counts []int) bool, maxInteractions uint64) (bool, error) {
+	return s.RunUntilCtx(nil, pred, maxInteractions)
+}
+
+// ctxPollMask sets the cancellation-poll cadence of RunUntilCtx: the
+// context is consulted every 256 productive steps. Productive steps cost
+// O(S) each, so the poll itself is noise; null runs between them are
+// skipped in O(1) and never delay a poll by more than one step.
+const ctxPollMask = 1<<8 - 1
+
+// RunUntilCtx is RunUntil with cancellation: a nil ctx behaves exactly
+// like RunUntil; otherwise ctx is polled every few hundred productive
+// steps and a fired context aborts the run with ctx.Err(). The counters
+// retain the progress made, so a caller may capture or resume.
+func (s *Sim) RunUntilCtx(ctx context.Context, pred func(counts []int) bool, maxInteractions uint64) (bool, error) {
 	if pred(s.counts) {
 		return true, nil
 	}
+	var polls uint
 	for s.interactions < maxInteractions {
+		if ctx != nil {
+			if polls&ctxPollMask == 0 {
+				if err := ctx.Err(); err != nil {
+					return false, err
+				}
+			}
+			polls++
+		}
 		if _, _, err := s.Step(); err != nil {
 			if errors.Is(err, ErrDead) {
 				return pred(s.counts), nil

@@ -121,6 +121,9 @@ func TestInvariantAlongCountExecutions(t *testing.T) {
 // distribution as the agent-level engine's. Compare the mean to the EXACT
 // Markov expectation (4 standard errors over many cheap trials).
 func TestMatchesExactExpectation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("40k-trial distribution check; skipped in -short runs")
+	}
 	cases := []struct{ n, k int }{{5, 2}, {6, 3}, {8, 4}}
 	for _, cse := range cases {
 		p := core.MustNew(cse.k)

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -63,6 +64,14 @@ type KSeries struct {
 
 // RunFig3 executes the Figure 3 (and, with Grouping, Figure 4) sweep.
 func RunFig3(cfg Fig3Config) ([]KSeries, error) {
+	return RunFig3Ctx(context.Background(), cfg, RunOptions{})
+}
+
+// RunFig3Ctx is RunFig3 under a context and resilience policy: the sweep
+// honors cancellation between (and, via the engines, within) trials, and
+// with opts.Journal set it skips journaled trials and checkpoints each
+// completed one — the resume workflow of cmd/kpart-experiments.
+func RunFig3Ctx(ctx context.Context, cfg Fig3Config, opts RunOptions) ([]KSeries, error) {
 	cfg.fill()
 	var out []KSeries
 	pointID := uint64(0)
@@ -78,7 +87,11 @@ func RunFig3(cfg Fig3Config) ([]KSeries, error) {
 		}
 		s := KSeries{K: k}
 		for n := nMin; n <= cfg.NMax; n += cfg.NStep {
-			pt, err := SweepPoint(n, k, cfg.Trials, cfg.Seed, pointID, cfg.Grouping, cfg.Workers, cfg.MaxInteractions, cfg.Engine)
+			pt, err := SweepPointCtx(ctx, SweepSpec{
+				N: n, K: k, Trials: cfg.Trials, Seed: cfg.Seed, PointID: pointID,
+				Grouping: cfg.Grouping, Workers: cfg.Workers,
+				MaxInteractions: cfg.MaxInteractions, Engine: cfg.Engine,
+			}, opts)
 			if err != nil {
 				return nil, fmt.Errorf("fig3: %w", err)
 			}
@@ -123,6 +136,12 @@ func (c *Fig5Config) fill() {
 
 // RunFig5 executes the Figure 5 sweep.
 func RunFig5(cfg Fig5Config) ([]KSeries, error) {
+	return RunFig5Ctx(context.Background(), cfg, RunOptions{})
+}
+
+// RunFig5Ctx is RunFig5 with cancellation and checkpoint/resume (see
+// RunFig3Ctx).
+func RunFig5Ctx(ctx context.Context, cfg Fig5Config, opts RunOptions) ([]KSeries, error) {
 	cfg.fill()
 	var out []KSeries
 	pointID := uint64(1 << 20) // disjoint from fig3's ids
@@ -133,7 +152,10 @@ func RunFig5(cfg Fig5Config) ([]KSeries, error) {
 			if n%k != 0 {
 				return nil, fmt.Errorf("fig5: n=%d not divisible by k=%d", n, k)
 			}
-			pt, err := SweepPoint(n, k, cfg.Trials, cfg.Seed, pointID, false, cfg.Workers, cfg.MaxInteractions, cfg.Engine)
+			pt, err := SweepPointCtx(ctx, SweepSpec{
+				N: n, K: k, Trials: cfg.Trials, Seed: cfg.Seed, PointID: pointID,
+				Workers: cfg.Workers, MaxInteractions: cfg.MaxInteractions, Engine: cfg.Engine,
+			}, opts)
 			if err != nil {
 				return nil, fmt.Errorf("fig5: %w", err)
 			}
@@ -176,6 +198,12 @@ func (c *Fig6Config) fill() {
 // RunFig6 executes the Figure 6 sweep; the returned points share N and
 // vary K.
 func RunFig6(cfg Fig6Config) ([]Point, error) {
+	return RunFig6Ctx(context.Background(), cfg, RunOptions{})
+}
+
+// RunFig6Ctx is RunFig6 with cancellation and checkpoint/resume (see
+// RunFig3Ctx).
+func RunFig6Ctx(ctx context.Context, cfg Fig6Config, opts RunOptions) ([]Point, error) {
 	cfg.fill()
 	var out []Point
 	pointID := uint64(1 << 21)
@@ -183,7 +211,10 @@ func RunFig6(cfg Fig6Config) ([]Point, error) {
 		if cfg.N%k != 0 {
 			return nil, fmt.Errorf("fig6: n=%d not divisible by k=%d", cfg.N, k)
 		}
-		pt, err := SweepPoint(cfg.N, k, cfg.Trials, cfg.Seed, pointID, false, cfg.Workers, cfg.MaxInteractions, cfg.Engine)
+		pt, err := SweepPointCtx(ctx, SweepSpec{
+			N: cfg.N, K: k, Trials: cfg.Trials, Seed: cfg.Seed, PointID: pointID,
+			Workers: cfg.Workers, MaxInteractions: cfg.MaxInteractions, Engine: cfg.Engine,
+		}, opts)
 		if err != nil {
 			return nil, fmt.Errorf("fig6: %w", err)
 		}

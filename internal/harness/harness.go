@@ -10,6 +10,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -19,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/countsim"
+	"repro/internal/obs"
 	"repro/internal/population"
 	"repro/internal/rng"
 	"repro/internal/sched"
@@ -62,6 +65,11 @@ type TrialResult struct {
 	// Marks holds NI_i (total interactions at the i-th grouping) when
 	// Spec.Grouping was set.
 	Marks []uint64
+	// Attempts is how many executions it took to get this result (1 =
+	// first try). Retried attempts run under deterministically re-derived
+	// seeds (RetrySeed), recorded in Spec.Seed, so every result remains
+	// reproducible from its own spec regardless of the retry history.
+	Attempts int `json:",omitempty"`
 }
 
 // protoCache shares immutable protocol tables across trials; building a
@@ -85,34 +93,161 @@ func Proto(k int) *core.Protocol {
 	return p
 }
 
+// RunOptions is the execution policy of a trial or batch: deadlines,
+// retries, journaling, progress. It deliberately lives OUTSIDE TrialSpec —
+// the spec is a trial's reproducible identity (it is what the sweep
+// journal hashes), while RunOptions only shapes how patiently the harness
+// pursues that identity. The zero value means: no deadline, no retries,
+// no journal — exactly the pre-resilience behavior.
+type RunOptions struct {
+	// TrialTimeout is the per-trial wall deadline; a trial (each attempt
+	// separately) exceeding it is aborted with context.DeadlineExceeded.
+	// 0 means no wall deadline.
+	TrialTimeout time.Duration
+	// Retries is how many additional attempts a transiently failed trial
+	// gets. Each retry runs under RetrySeed(seed, attempt) so the retry
+	// stream is itself deterministic. Invalid-spec errors (ErrInvalidSpec)
+	// and batch cancellation are never retried.
+	Retries int
+	// Backoff is the base delay before the first retry, doubling per
+	// attempt and capped at MaxRetryBackoff; 0 means DefaultRetryBackoff.
+	// The sleep respects cancellation.
+	Backoff time.Duration
+	// Journal, when non-nil, is consulted before running each trial of a
+	// batch (completed trials are returned from the journal instead of
+	// re-run) and appended to after each success — the sweep
+	// checkpoint/resume mechanism.
+	Journal *Journal
+	// Progress, when non-zero, emits a progress report every Progress
+	// interactions (count engine: at the first productive step past each
+	// multiple). Used by the scale binary for hours-long single trials.
+	Progress uint64
+}
+
+// Retry/backoff tuning shared by every binary.
+const (
+	// DefaultRetryBackoff is the base retry delay when Backoff is 0.
+	DefaultRetryBackoff = 50 * time.Millisecond
+	// MaxRetryBackoff caps the exponential backoff growth.
+	MaxRetryBackoff = 2 * time.Second
+)
+
+// ErrInvalidSpec marks trial failures that no retry can fix (bad n/k,
+// malformed spec); RunTrialCtx fails such trials immediately.
+var ErrInvalidSpec = errors.New("harness: invalid trial spec")
+
+// RetrySeed deterministically derives the seed of the attempt-th retry
+// (attempt >= 1) of a trial originally seeded with seed. Keeping the
+// derivation pure means a resumed or re-run sweep retries identically,
+// so results stay reproducible even through failure paths.
+func RetrySeed(seed uint64, attempt int) uint64 {
+	return rng.StreamSeed(seed, 0x9e7291, uint64(attempt))
+}
+
+// backoffDelay is the sleep before retry number attempt (1-based).
+func backoffDelay(base time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		base = DefaultRetryBackoff
+	}
+	d := base << (attempt - 1)
+	if d <= 0 || d > MaxRetryBackoff {
+		d = MaxRetryBackoff
+	}
+	return d
+}
+
+// sleepCtx waits d or until ctx fires, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 // RunTrial executes one trial to stability (or the interaction cap),
 // recording per-trial metrics when a registry is installed (SetMetrics).
 func RunTrial(spec TrialSpec) (TrialResult, error) {
-	reg := Metrics()
-	if !reg.Enabled() {
-		return runTrial(spec)
-	}
-	start := time.Now()
-	res, err := runTrial(spec)
-	observeTrial(reg, res, err, time.Since(start))
-	return res, err
+	return RunTrialCtx(context.Background(), spec, RunOptions{})
 }
 
-func runTrial(spec TrialSpec) (TrialResult, error) {
+// RunTrialCtx executes one trial under ctx with the given policy: each
+// attempt gets opts.TrialTimeout of wall clock, transient failures are
+// retried up to opts.Retries times under deterministically re-derived
+// seeds, and per-trial metrics (including retry/timeout counters) are
+// recorded when a registry is installed. The returned result's Spec
+// carries the seed that actually produced it.
+func RunTrialCtx(ctx context.Context, spec TrialSpec, opts RunOptions) (TrialResult, error) {
+	reg := Metrics()
+	attempt := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			reg.Counter("harness/canceled").Inc()
+			return TrialResult{}, err
+		}
+		tctx := ctx
+		cancel := context.CancelFunc(nil)
+		if opts.TrialTimeout > 0 {
+			tctx, cancel = context.WithTimeout(ctx, opts.TrialTimeout)
+		}
+		start := time.Now()
+		res, err := runTrial(tctx, spec, opts)
+		wall := time.Since(start)
+		if cancel != nil {
+			cancel()
+		}
+		observeTrial(reg, res, err, wall)
+		if err == nil {
+			res.Attempts = attempt + 1
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			// The batch (not this trial's deadline) was cancelled.
+			reg.Counter("harness/canceled").Inc()
+			return TrialResult{}, ctx.Err()
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			reg.Counter("harness/timeouts").Inc()
+			err = fmt.Errorf("harness: n=%d k=%d seed=%#x: attempt %d exceeded trial timeout %v: %w",
+				spec.N, spec.K, spec.Seed, attempt+1, opts.TrialTimeout, err)
+		}
+		if errors.Is(err, ErrInvalidSpec) || attempt >= opts.Retries {
+			return TrialResult{}, err
+		}
+		attempt++
+		reg.Counter("harness/retries").Inc()
+		spec.Seed = RetrySeed(spec.Seed, attempt)
+		if serr := sleepCtx(ctx, backoffDelay(opts.Backoff, attempt)); serr != nil {
+			reg.Counter("harness/canceled").Inc()
+			return TrialResult{}, serr
+		}
+	}
+}
+
+func runTrial(ctx context.Context, spec TrialSpec, ropts RunOptions) (TrialResult, error) {
 	p := Proto(spec.K)
 	target, err := p.TargetCounts(spec.N)
 	if err != nil {
-		return TrialResult{}, fmt.Errorf("harness: n=%d k=%d: %w", spec.N, spec.K, err)
+		return TrialResult{}, fmt.Errorf("%w: n=%d k=%d: %v", ErrInvalidSpec, spec.N, spec.K, err)
 	}
 	if spec.Engine == EngineCount {
-		return runCountTrial(p, spec)
+		return runCountTrial(ctx, p, spec, ropts)
 	}
 	pop := population.New(p, spec.N)
-	opts := sim.Options{MaxInteractions: spec.MaxInteractions}
+	opts := sim.Options{MaxInteractions: spec.MaxInteractions, Ctx: ctx}
 	var gc *sim.GroupingCounter
 	if spec.Grouping {
 		gc = &sim.GroupingCounter{Watch: p.G(spec.K)}
 		opts.Hooks = []sim.Hook{gc}
+	}
+	if ropts.Progress > 0 {
+		opts.Hooks = append(opts.Hooks, &obs.Progress{
+			Every: ropts.Progress,
+			Label: fmt.Sprintf("n=%d k=%d seed=%#x", spec.N, spec.K, spec.Seed),
+		})
 	}
 	res, err := sim.Run(pop, sched.NewRandom(spec.Seed), sim.NewCountTarget(p.CanonMap(), target), opts)
 	if err != nil {
@@ -133,10 +268,10 @@ func runTrial(spec TrialSpec) (TrialResult, error) {
 
 // runCountTrial runs a trial on the count-based engine. Grouping marks are
 // reconstructed from the gk count observed inside the stop predicate.
-func runCountTrial(p *core.Protocol, spec TrialSpec) (TrialResult, error) {
+func runCountTrial(ctx context.Context, p *core.Protocol, spec TrialSpec, ropts RunOptions) (TrialResult, error) {
 	s, err := countsim.New(p, spec.N, spec.Seed)
 	if err != nil {
-		return TrialResult{}, err
+		return TrialResult{}, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
 	}
 	maxI := spec.MaxInteractions
 	if maxI == 0 {
@@ -154,7 +289,19 @@ func runCountTrial(p *core.Protocol, spec TrialSpec) (TrialResult, error) {
 		return TrialResult{}, err
 	}
 	scratch := make([]int, len(target))
+	var prog *obs.Progress
+	if ropts.Progress > 0 {
+		prog = &obs.Progress{
+			Every: ropts.Progress,
+			Label: fmt.Sprintf("n=%d k=%d seed=%#x", spec.N, spec.K, spec.Seed),
+		}
+	}
 	pred := func(counts []int) bool {
+		if prog != nil {
+			prog.MaybeReport(s.Interactions(), s.Productive(), func() int {
+				return spreadOf(p.GroupSizesFromCounts(counts))
+			})
+		}
 		if spec.Grouping {
 			if c := counts[gk]; c > best {
 				for i := best; i < c; i++ {
@@ -176,7 +323,7 @@ func runCountTrial(p *core.Protocol, spec TrialSpec) (TrialResult, error) {
 		}
 		return true
 	}
-	ok, err := s.RunUntil(pred, maxI)
+	ok, err := s.RunUntilCtx(ctx, pred, maxI)
 	if err != nil {
 		return TrialResult{}, err
 	}
@@ -187,9 +334,17 @@ func runCountTrial(p *core.Protocol, spec TrialSpec) (TrialResult, error) {
 		Converged:    ok,
 		Marks:        marks,
 	}
-	sizes := p.GroupSizesFromCounts(s.CountsView())
+	res.Spread = spreadOf(p.GroupSizesFromCounts(s.CountsView()))
+	return res, nil
+}
+
+// spreadOf returns max−min of a group-size vector.
+func spreadOf(sizes []int) int {
+	if len(sizes) == 0 {
+		return 0
+	}
 	min, max := sizes[0], sizes[0]
-	for _, v := range sizes {
+	for _, v := range sizes[1:] {
 		if v < min {
 			min = v
 		}
@@ -197,14 +352,32 @@ func runCountTrial(p *core.Protocol, spec TrialSpec) (TrialResult, error) {
 			max = v
 		}
 	}
-	res.Spread = max - min
-	return res, nil
+	return max - min
 }
 
 // RunMany executes specs over a worker pool and returns results in input
-// order. workers <= 0 selects GOMAXPROCS. The first error aborts the batch
-// (remaining workers drain).
+// order. workers <= 0 selects GOMAXPROCS. Every spec is attempted; the
+// first error is returned alongside the full result slice.
 func RunMany(specs []TrialSpec, workers int) ([]TrialResult, error) {
+	return RunManyCtx(context.Background(), specs, workers, RunOptions{})
+}
+
+// RunManyCtx executes specs over a worker pool under ctx and returns
+// results in input order. workers <= 0 selects GOMAXPROCS. Results are a
+// pure function of the specs — independent of worker count, scheduling
+// order, journal hits, and retry history (the differential tests pin
+// this down).
+//
+// With opts.Journal set, trials whose spec key is already journaled are
+// returned without re-running (counted in harness/resumed), and each
+// freshly completed trial is appended to the journal as soon as it
+// finishes — so a crash or cancellation loses at most the in-flight
+// trials.
+//
+// Cancellation is graceful: no new trials are dispatched, in-flight
+// trials abort at their next poll, completed results (and the journal)
+// are retained, and ctx.Err() is returned.
+func RunManyCtx(ctx context.Context, specs []TrialSpec, workers int, opts RunOptions) ([]TrialResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -213,6 +386,16 @@ func RunMany(specs []TrialSpec, workers int) ([]TrialResult, error) {
 	}
 	results := make([]TrialResult, len(specs))
 	errs := make([]error, len(specs))
+	done := make([]bool, len(specs))
+	if opts.Journal != nil {
+		reg := Metrics()
+		for i := range specs {
+			if e, ok := opts.Journal.Lookup(specs[i]); ok {
+				results[i], done[i] = e.Result, true
+				reg.Counter("harness/resumed").Inc()
+			}
+		}
+	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -220,15 +403,30 @@ func RunMany(specs []TrialSpec, workers int) ([]TrialResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i], errs[i] = RunTrial(specs[i])
+				start := time.Now()
+				results[i], errs[i] = RunTrialCtx(ctx, specs[i], opts)
+				if errs[i] == nil && opts.Journal != nil {
+					errs[i] = opts.Journal.Append(specs[i], results[i], time.Since(start))
+				}
 			}
 		}()
 	}
+dispatch:
 	for i := range specs {
-		idx <- i
+		if done[i] {
+			continue
+		}
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return results, fmt.Errorf("harness: batch interrupted: %w", err)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return results, err
@@ -353,22 +551,48 @@ func ci95Of(xs []float64) float64 {
 	return 1.96 * math.Sqrt(sd/float64(len(xs)))
 }
 
-// SweepPoint runs `trials` trials at (n, k) and aggregates them. Seeds are
-// derived from (seed, pointID, trial).
-func SweepPoint(n, k, trials int, seed, pointID uint64, grouping bool, workers int, maxInteractions uint64, engine Engine) (Point, error) {
-	specs := make([]TrialSpec, trials)
+// SweepSpec describes one aggregated parameter point of a sweep: `Trials`
+// trials at (N, K), seeded from (Seed, PointID, trial).
+type SweepSpec struct {
+	N, K, Trials    int
+	Seed, PointID   uint64
+	Grouping        bool
+	Workers         int
+	MaxInteractions uint64
+	Engine          Engine
+}
+
+// Specs expands the sweep point into its per-trial specs, in trial order.
+func (s SweepSpec) Specs() []TrialSpec {
+	specs := make([]TrialSpec, s.Trials)
 	for t := range specs {
 		specs[t] = TrialSpec{
-			N: n, K: k,
-			Seed:            rng.StreamSeed(seed, pointID, uint64(t)),
-			Grouping:        grouping,
-			MaxInteractions: maxInteractions,
-			Engine:          engine,
+			N: s.N, K: s.K,
+			Seed:            rng.StreamSeed(s.Seed, s.PointID, uint64(t)),
+			Grouping:        s.Grouping,
+			MaxInteractions: s.MaxInteractions,
+			Engine:          s.Engine,
 		}
 	}
-	results, err := RunMany(specs, workers)
+	return specs
+}
+
+// SweepPoint runs one sweep point and aggregates it; the
+// context/journal-aware form is SweepPointCtx.
+func SweepPoint(n, k, trials int, seed, pointID uint64, grouping bool, workers int, maxInteractions uint64, engine Engine) (Point, error) {
+	return SweepPointCtx(context.Background(), SweepSpec{
+		N: n, K: k, Trials: trials, Seed: seed, PointID: pointID,
+		Grouping: grouping, Workers: workers,
+		MaxInteractions: maxInteractions, Engine: engine,
+	}, RunOptions{})
+}
+
+// SweepPointCtx runs a sweep point under ctx with the given resilience
+// policy and aggregates the trials.
+func SweepPointCtx(ctx context.Context, s SweepSpec, opts RunOptions) (Point, error) {
+	results, err := RunManyCtx(ctx, s.Specs(), s.Workers, opts)
 	if err != nil {
 		return Point{}, err
 	}
-	return Aggregate(n, k, results), nil
+	return Aggregate(s.N, s.K, results), nil
 }

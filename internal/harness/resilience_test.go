@@ -1,0 +1,179 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Differential determinism: RunManyCtx results are a pure function of the
+// specs — worker count must not leak into any field. Byte-identical JSON
+// is the strongest cheap form of that claim (it covers every exported
+// field at once, including Marks, Spread, and Attempts).
+func TestRunManyDifferentialDeterminism(t *testing.T) {
+	var specs []TrialSpec
+	for i := 0; i < 10; i++ {
+		specs = append(specs, TrialSpec{
+			N: 14 + i, K: 3, Seed: uint64(500 + i),
+			Grouping: i%2 == 0,
+			Engine:   Engine(i % 2), // alternate agent/count
+		})
+	}
+	run := func(workers int) []byte {
+		res, err := RunManyCtx(context.Background(), specs, workers, RunOptions{})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		data, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); !bytes.Equal(got, serial) {
+			t.Fatalf("workers=%d produced different results\nserial: %s\ngot:    %s", workers, serial, got)
+		}
+	}
+	// The execution policy (a generous deadline, retry budget) is not part
+	// of trial identity either: same bytes with a non-zero policy.
+	res, err := RunManyCtx(context.Background(), specs, 4, RunOptions{
+		TrialTimeout: time.Minute, Retries: 2, Backoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := json.Marshal(res)
+	if !bytes.Equal(data, serial) {
+		t.Fatal("RunOptions changed trial results")
+	}
+}
+
+func TestRetrySeedDerivation(t *testing.T) {
+	if RetrySeed(42, 1) != RetrySeed(42, 1) {
+		t.Fatal("RetrySeed not deterministic")
+	}
+	seen := map[uint64]bool{42: true}
+	for attempt := 1; attempt <= 4; attempt++ {
+		s := RetrySeed(42, attempt)
+		if seen[s] {
+			t.Fatalf("attempt %d collides with an earlier seed", attempt)
+		}
+		seen[s] = true
+	}
+}
+
+// A per-trial wall deadline aborts the attempt with DeadlineExceeded;
+// with a retry budget, every attempt runs (under a re-derived seed) and
+// the timeout/retry counters record the history.
+func TestRunTrialCtxTimeoutAndRetryCounters(t *testing.T) {
+	reg := obs.New("test")
+	SetMetrics(reg)
+	defer SetMetrics(nil)
+
+	// n=1000, k=8 on the agent engine needs far more than 2ms of wall
+	// clock (the fig6 point at n=960 runs for seconds), so every attempt
+	// deterministically exceeds the deadline.
+	spec := TrialSpec{N: 1000, K: 8, Seed: 7}
+	_, err := RunTrialCtx(context.Background(), spec, RunOptions{
+		TrialTimeout: 2 * time.Millisecond,
+		Retries:      2,
+		Backoff:      time.Millisecond,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want DeadlineExceeded", err)
+	}
+	if got := reg.Counter("harness/timeouts").Value(); got != 3 {
+		t.Fatalf("timeouts counter = %d, want 3 (initial attempt + 2 retries)", got)
+	}
+	if got := reg.Counter("harness/retries").Value(); got != 2 {
+		t.Fatalf("retries counter = %d, want 2", got)
+	}
+}
+
+// Invalid specs can never be fixed by retrying — they fail immediately,
+// leaving the retry budget untouched.
+func TestRunTrialCtxInvalidSpecNotRetried(t *testing.T) {
+	reg := obs.New("test")
+	SetMetrics(reg)
+	defer SetMetrics(nil)
+
+	_, err := RunTrialCtx(context.Background(), TrialSpec{N: 2, K: 3, Seed: 1}, RunOptions{Retries: 5})
+	if !errors.Is(err, ErrInvalidSpec) {
+		t.Fatalf("got %v, want ErrInvalidSpec", err)
+	}
+	if got := reg.Counter("harness/retries").Value(); got != 0 {
+		t.Fatalf("invalid spec was retried %d times", got)
+	}
+}
+
+// Batch cancellation is not a trial failure: no retry, the canceled
+// counter increments, and the context error surfaces unchanged.
+func TestRunTrialCtxCanceled(t *testing.T) {
+	reg := obs.New("test")
+	SetMetrics(reg)
+	defer SetMetrics(nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunTrialCtx(ctx, TrialSpec{N: 20, K: 4, Seed: 1}, RunOptions{Retries: 3})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want Canceled", err)
+	}
+	if got := reg.Counter("harness/canceled").Value(); got == 0 {
+		t.Fatal("canceled counter not incremented")
+	}
+	if got := reg.Counter("harness/retries").Value(); got != 0 {
+		t.Fatalf("canceled trial was retried %d times", got)
+	}
+}
+
+func TestRunTrialCtxAttemptsRecorded(t *testing.T) {
+	res, err := RunTrialCtx(context.Background(), TrialSpec{N: 20, K: 4, Seed: 1}, RunOptions{Retries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 1 {
+		t.Fatalf("clean first-try run recorded Attempts=%d", res.Attempts)
+	}
+}
+
+// RunManyCtx under a canceled context drains without dispatching and
+// reports the interruption distinctly from trial errors.
+func TestRunManyCtxInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	specs := []TrialSpec{{N: 20, K: 4, Seed: 1}, {N: 21, K: 4, Seed: 2}}
+	res, err := RunManyCtx(ctx, specs, 2, RunOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want wrapped Canceled", err)
+	}
+	if len(res) != len(specs) {
+		t.Fatalf("result slice len %d, want %d", len(res), len(specs))
+	}
+}
+
+// A generous timeout changes nothing: same result bytes as no policy at
+// all (the deadline is pure policy, invisible in the output).
+func TestTrialTimeoutInvisibleWhenUnhit(t *testing.T) {
+	spec := TrialSpec{N: 24, K: 4, Seed: 11, Grouping: true}
+	plain, err := RunTrial(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timed, err := RunTrialCtx(context.Background(), spec, RunOptions{TrialTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(plain)
+	b, _ := json.Marshal(timed)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("deadline leaked into result:\n%s\n%s", a, b)
+	}
+}

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/population"
+	"repro/internal/sched"
+)
+
+// A canceled Options.Ctx aborts the run at the next poll boundary with
+// the context's error and a non-converged result whose counters reflect
+// the work actually done.
+func TestRunCtxCanceled(t *testing.T) {
+	p := core.MustNew(4)
+	pop := population.New(p, 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(pop, sched.NewRandom(1), After{N: 1 << 40}, Options{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if res.Converged {
+		t.Fatal("canceled run reported convergence")
+	}
+	// The poll mask fires at interaction 0, so a pre-canceled context
+	// stops the run before any encounter.
+	if res.Interactions != 0 {
+		t.Fatalf("pre-canceled run walked %d interactions", res.Interactions)
+	}
+}
+
+// A background (never-canceled) context must not perturb the run: same
+// states and counters as the no-context run, seed for seed.
+func TestRunCtxBackgroundIsTransparent(t *testing.T) {
+	p := core.MustNew(3)
+	run := func(ctx context.Context) (*population.Population, Result) {
+		pop := population.New(p, 15)
+		res, err := Run(pop, sched.NewRandom(77), After{N: 5000}, Options{Ctx: ctx})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pop, res
+	}
+	popA, resA := run(nil)
+	popB, resB := run(context.Background())
+	if resA.Interactions != resB.Interactions || resA.Productive != resB.Productive {
+		t.Fatalf("context changed counters: %+v vs %+v", resA, resB)
+	}
+	for i := 0; i < 15; i++ {
+		if popA.State(i) != popB.State(i) {
+			t.Fatalf("agent %d diverged under a background context", i)
+		}
+	}
+}

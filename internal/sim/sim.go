@@ -10,6 +10,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -56,7 +57,17 @@ type Options struct {
 	InvariantEvery uint64
 	// Invariant is the predicate checked every InvariantEvery steps.
 	Invariant func(pop *population.Population) error
+	// Ctx, when non-nil, lets a run be cancelled (or deadlined) from the
+	// outside. It is polled every ctxPollMask+1 applied interactions —
+	// cheap enough to be free on the hot loop, frequent enough that a
+	// SIGINT or wall deadline lands within microseconds — and a fired
+	// context aborts the run with its error and a partial Result.
+	Ctx context.Context
 }
+
+// ctxPollMask sets the context-poll cadence: Ctx.Err is consulted when
+// Interactions&ctxPollMask == 0 (every 4096 encounters).
+const ctxPollMask = 1<<12 - 1
 
 // DefaultMaxInteractions bounds runs whose Options leave the cap at zero.
 // The costliest standard workload (Fig. 6 at n=960, large k) needs on the
@@ -123,6 +134,11 @@ func Run(pop *population.Population, s sched.Scheduler, stop StopCondition, opts
 
 	var info StepInfo
 	for pop.Interactions() < maxI {
+		if opts.Ctx != nil && pop.Interactions()&ctxPollMask == 0 {
+			if err := opts.Ctx.Err(); err != nil {
+				return finish(pop, false), err
+			}
+		}
 		i, j := s.Next(pop)
 		p, q := pop.State(i), pop.State(j)
 		changed := pop.Interact(i, j)
