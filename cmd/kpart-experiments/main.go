@@ -155,7 +155,15 @@ func main() {
 		figOpts := opts
 		figOpts.Journal = j
 		err = f(ctx, figOpts)
-		j.Close()
+		if cerr := j.Close(); cerr != nil {
+			// The resume story depends on the journal's tail being
+			// durable; a failed close means "completed trials saved"
+			// below could be a lie, so say so.
+			fmt.Fprintf(os.Stderr, "kpart-experiments: closing journal %s: %v\n", j.Path(), cerr)
+			if err == nil {
+				err = cerr
+			}
+		}
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
 				fmt.Fprintf(os.Stderr, "kpart-experiments: figure %s interrupted; completed trials saved in %s\n", name, j.Path())

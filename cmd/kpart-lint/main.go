@@ -1,0 +1,91 @@
+// kpart-lint is the repo's static-analysis gate: it runs the
+// internal/lint analyzer suite (stdlib go/ast + go/types only, no
+// external tooling) over the module and exits non-zero on any finding.
+// `make lint` runs it as part of `make check`.
+//
+// Usage:
+//
+//	kpart-lint [-json] [-list] [patterns ...]
+//
+// Patterns default to ./... (every package under the module root).
+// Suppress a finding with `//lint:allow <analyzer> -- <reason>` on the
+// offending line or the line above; the reason is mandatory and unused
+// or misspelled suppressions are themselves findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analyzers"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: kpart-lint [-json] [-list] [patterns ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := analyzers.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fatal(err)
+	}
+	seen := make(map[string]bool)
+	var pkgs []*lint.Package
+	for _, pat := range patterns {
+		dirs, err := loader.Dirs(pat)
+		if err != nil {
+			fatal(err)
+		}
+		for _, dir := range dirs {
+			if seen[dir] {
+				continue
+			}
+			seen[dir] = true
+			pkg, err := loader.Load(dir)
+			if err != nil {
+				fatal(err)
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+
+	diags := lint.Run(pkgs, suite)
+	if *jsonOut {
+		err = lint.WriteJSON(os.Stdout, diags)
+	} else {
+		err = lint.WriteText(os.Stdout, diags)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "kpart-lint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "kpart-lint: %v\n", err)
+	os.Exit(2)
+}

@@ -244,7 +244,9 @@ func main() {
 // interrupted reports a graceful SIGINT drain and exits 130.
 func interrupted(j *harness.Journal) {
 	if j != nil {
-		j.Close()
+		if err := j.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "kpart-scale: closing journal: %v\n", err)
+		}
 		fmt.Fprintf(os.Stderr, "kpart-scale: interrupted; completed trials saved in %s — rerun with -resume to continue\n", j.Path())
 	} else {
 		fmt.Fprintln(os.Stderr, "kpart-scale: interrupted (run with -journal to make runs resumable)")

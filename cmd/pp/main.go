@@ -46,7 +46,7 @@ func main() {
 		fatal(err)
 	}
 	res, err := parse.Reader(f, strings.TrimSuffix(filepath.Base(*file), filepath.Ext(*file)))
-	f.Close()
+	_ = f.Close() // read-only handle, fully consumed by parse.Reader
 	if err != nil {
 		fatal(err)
 	}

@@ -39,10 +39,10 @@ func FuzzRestore(f *testing.F) {
 	f.Add("")
 	f.Add("{}")
 	f.Add("not json")
-	f.Add(valid[:len(valid)/2])                                           // truncated mid-document
-	f.Add(strings.Replace(valid, `"states": 10`, `"states": 3`, 1))       // metadata mismatch
+	f.Add(valid[:len(valid)/2])                                     // truncated mid-document
+	f.Add(strings.Replace(valid, `"states": 10`, `"states": 3`, 1)) // metadata mismatch
 	f.Add(strings.Replace(valid, `"scheduler": "random"`, `"scheduler": "sweep"`, 1))
-	f.Add(strings.Replace(valid, `"productive":`, `"productive": 1e9, "x":`, 1)) // productive > interactions
+	f.Add(strings.Replace(valid, `"productive":`, `"productive": 1e9, "x":`, 1))     // productive > interactions
 	f.Add(strings.Replace(valid, `"agent_states": [`, `"agent_states": [60000,`, 1)) // out-of-range state
 	f.Add(strings.Replace(valid, `"agent_states": [`, `"agent_states_x": [`, 1))     // no states at all
 	f.Add(strings.Replace(valid, `"rng_state":`, `"rng_state": "/w==", "x":`, 1))    // corrupt generator blob

@@ -95,11 +95,11 @@ func CreateJournal(path, meta string) (*Journal, error) {
 	j := &Journal{f: f, path: path, done: make(map[string]Entry)}
 	hdr, err := json.Marshal(journalHeader{Journal: journalMagic, Version: journalVersion, Meta: meta})
 	if err != nil {
-		f.Close()
+		_ = f.Close() // surfacing the marshal error; close is cleanup
 		return nil, err
 	}
 	if _, err := f.Write(append(hdr, '\n')); err != nil {
-		f.Close()
+		_ = f.Close() // surfacing the write error; close is cleanup
 		return nil, fmt.Errorf("harness: writing journal header: %w", err)
 	}
 	return j, nil
@@ -120,7 +120,7 @@ func OpenJournal(path, meta string) (*Journal, error) {
 	}
 	j := &Journal{f: f, path: path, done: make(map[string]Entry)}
 	if err := j.load(meta); err != nil {
-		f.Close()
+		_ = f.Close() // surfacing the load error; close is cleanup
 		return nil, err
 	}
 	return j, nil

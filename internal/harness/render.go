@@ -148,7 +148,7 @@ func WriteCSVFile(dir, name string, t *report.Table) (string, error) {
 		return "", err
 	}
 	if _, err := io.WriteString(f, t.CSV()); err != nil {
-		f.Close()
+		_ = f.Close() // surfacing the write error; close is cleanup
 		return "", err
 	}
 	return path, f.Close()

@@ -1,0 +1,63 @@
+// Package analyzers holds the repo-specific checks kpart-lint runs.
+// Each analyzer mechanizes one invariant the reproduction's claims rest
+// on; each has a golden testdata package with // want annotations under
+// testdata/, run by linttest. To add an analyzer: write the lint.
+// Analyzer in its own file, add a testdata package, and list it in
+// All() — the suppression machinery, driver, and Makefile pick it up
+// from there.
+package analyzers
+
+import (
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// modPath is this module's path. The analyzer scopes are repo-specific
+// by design (kpart-lint is this repo's linter, not a general tool), so
+// the package lists live here as code, reviewable like any invariant.
+const modPath = "repro"
+
+// All returns the full analyzer suite in stable order.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		Determinism,
+		RNGDiscipline,
+		MapOrder,
+		AtomicField,
+		ErrClose,
+	}
+}
+
+// deterministicPkgs are the engine packages whose outputs must be a
+// pure function of (spec, seed): the interaction-level simulator, the
+// counting engine, the protocol definitions, population state, the
+// state-space explorer, and the Markov solver. Wall-clock reads or
+// stray RNGs here silently break bit-for-bit reproducibility.
+func inDeterministicPkg(path string) bool {
+	switch path {
+	case modPath + "/internal/sim",
+		modPath + "/internal/countsim",
+		modPath + "/internal/population",
+		modPath + "/internal/explore",
+		modPath + "/internal/markov":
+		return true
+	}
+	// internal/protocol and every internal/protocols/... variant.
+	return path == modPath+"/internal/protocol" ||
+		strings.HasPrefix(path, modPath+"/internal/protocols/")
+}
+
+// persistencePkgs are the paths that write experiment artifacts (CSV,
+// JSON docs, journals, traces, checkpoints) — the places where a
+// swallowed Close/Flush error turns into a silently truncated result
+// file.
+func inPersistencePkg(path string) bool {
+	switch path {
+	case modPath + "/internal/harness",
+		modPath + "/internal/checkpoint",
+		modPath + "/internal/trace":
+		return true
+	}
+	return strings.HasPrefix(path, modPath+"/cmd/")
+}

@@ -1,0 +1,82 @@
+package analyzers_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analyzers"
+	"repro/internal/lint/linttest"
+)
+
+// The golden tests: each analyzer over its annotated testdata package,
+// loaded under an import path that makes its Applies scope fire.
+
+func TestDeterminismGolden(t *testing.T) {
+	linttest.Run(t, "testdata/determinism", "repro/internal/sim", analyzers.Determinism)
+}
+
+func TestRNGDisciplineGolden(t *testing.T) {
+	linttest.Run(t, "testdata/rngdiscipline", "repro/internal/foo", analyzers.RNGDiscipline)
+}
+
+func TestMapOrderGolden(t *testing.T) {
+	linttest.Run(t, "testdata/maporder", "repro/internal/foo", analyzers.MapOrder)
+}
+
+func TestAtomicFieldGolden(t *testing.T) {
+	linttest.Run(t, "testdata/atomicfield", "repro/internal/foo", analyzers.AtomicField)
+}
+
+func TestErrCloseGolden(t *testing.T) {
+	linttest.Run(t, "testdata/errclose", "repro/internal/harness", analyzers.ErrClose)
+}
+
+func TestSuppressGolden(t *testing.T) {
+	linttest.Run(t, "testdata/suppress", "repro/internal/harness", analyzers.All()...)
+}
+
+// loadAs type-checks a testdata dir under an arbitrary import path and
+// runs the given analyzers raw (no want-comparison), for scope tests.
+func loadAs(t *testing.T, dir, importPath string, as ...*lint.Analyzer) []lint.Diagnostic {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := lint.NewLoader(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDirAs(abs, importPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lint.Run([]*lint.Package{pkg}, as)
+}
+
+// The same wall-clock calls outside the engine packages are legal:
+// timing belongs to the harness layer.
+func TestDeterminismScopedToEnginePackages(t *testing.T) {
+	diags := loadAs(t, "testdata/determinism", "repro/internal/harness", analyzers.Determinism)
+	if len(diags) != 0 {
+		t.Fatalf("determinism fired outside its package scope: %v", diags)
+	}
+}
+
+// internal/rng is the one sanctioned home for stdlib randomness.
+func TestRNGDisciplineAllowsRngPackage(t *testing.T) {
+	diags := loadAs(t, "testdata/rngdiscipline", "repro/internal/rng", analyzers.RNGDiscipline)
+	if len(diags) != 0 {
+		t.Fatalf("rngdiscipline fired inside repro/internal/rng: %v", diags)
+	}
+}
+
+// Outside the persistence paths a dropped Close error is tolerated (the
+// race/test layers own those packages' correctness stories).
+func TestErrCloseScopedToPersistencePaths(t *testing.T) {
+	diags := loadAs(t, "testdata/errclose", "repro/internal/sim", analyzers.ErrClose)
+	if len(diags) != 0 {
+		t.Fatalf("errclose fired outside the persistence paths: %v", diags)
+	}
+}

@@ -1,0 +1,37 @@
+// Golden input for the atomicfield analyzer: a field touched by a
+// sync/atomic function anywhere must be touched that way everywhere.
+package counters
+
+import "sync/atomic"
+
+type Stats struct {
+	hits uint64
+	safe atomic.Uint64
+}
+
+func (s *Stats) Incr() {
+	atomic.AddUint64(&s.hits, 1)
+}
+
+func (s *Stats) RacyRead() uint64 {
+	return s.hits // want `accessed with sync/atomic`
+}
+
+func (s *Stats) RacyReset() {
+	s.hits = 0 // want `accessed with sync/atomic`
+}
+
+func (s *Stats) GoodRead() uint64 {
+	return atomic.LoadUint64(&s.hits)
+}
+
+// atomic.Uint64-typed fields are safe by construction: every method is
+// atomic, so no diagnostics for safe.
+func (s *Stats) SafeIncr()        { s.safe.Add(1) }
+func (s *Stats) SafeRead() uint64 { return s.safe.Load() }
+
+// A plain field never used atomically is none of this analyzer's
+// business.
+type Plain struct{ n int }
+
+func (p *Plain) Bump() { p.n++ }

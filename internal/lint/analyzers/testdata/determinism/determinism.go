@@ -1,0 +1,25 @@
+// Golden input for the determinism analyzer; the package is loaded
+// under the import path "repro/internal/sim" so the path scope applies.
+package sim
+
+import "time"
+
+func Bad() time.Time {
+	t := time.Now()                // want `time\.Now in deterministic package`
+	time.Sleep(time.Millisecond)   // want `time\.Sleep`
+	_ = time.Since(t)              // want `time\.Since`
+	_ = time.NewTimer(time.Second) // want `time\.NewTimer`
+	return t
+}
+
+func BadValueUse() {
+	// Taking the function's value is as nondeterministic as calling it.
+	clock := time.Now // want `time\.Now`
+	_ = clock
+}
+
+// Pure duration arithmetic never reads the clock and must pass.
+func OKDurations(d time.Duration) time.Duration { return d * 2 }
+
+// Formatting a caller-supplied instant is deterministic in (spec, seed).
+func OKFormat(t time.Time) string { return t.Format(time.RFC3339) }

@@ -1,0 +1,10 @@
+package sim
+
+import "time"
+
+// Test files are exempt: benchmarks and soaks may time themselves
+// without affecting what a run computes. No diagnostics expected here.
+func helperTiming() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

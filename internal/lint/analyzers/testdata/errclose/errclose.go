@@ -1,0 +1,35 @@
+// Golden input for the errclose analyzer; loaded as
+// "repro/internal/harness" so the persistence-path scope applies.
+package persist
+
+import (
+	"bufio"
+	"os"
+)
+
+func Bad(f *os.File, w *bufio.Writer) {
+	f.Close() // want `error from Close\(\) is silently dropped`
+	w.Flush() // want `error from Flush\(\)`
+	f.Sync()  // want `error from Sync\(\)`
+}
+
+func BadWrite(w *bufio.Writer, p []byte) {
+	w.Write(p)         // want `error from Write\(\)`
+	w.WriteString("x") // want `error from WriteString\(\)`
+}
+
+func Good(f *os.File, w *bufio.Writer) error {
+	defer f.Close() // deferred closes are exempt (idiomatic read path)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	_ = f.Sync() // explicit discard is visible in review; allowed
+	return nil
+}
+
+// A Close that returns nothing has no error to drop.
+type quietCloser struct{}
+
+func (quietCloser) Close() {}
+
+func GoodNoError(q quietCloser) { q.Close() }

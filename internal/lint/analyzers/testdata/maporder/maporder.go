@@ -1,0 +1,94 @@
+// Golden input for the maporder analyzer: ordered output built from
+// map iteration, in both flagged shapes (unsorted append, direct
+// writes) and the sanctioned collect-sort-emit fixes.
+package maporder
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"slices"
+	"sort"
+	"strings"
+)
+
+func BadAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append while ranging over a map`
+	}
+	return out
+}
+
+func BadFprintf(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s,%d\n", k, v) // want `Fprintf inside a range over a map`
+	}
+}
+
+func BadCSV(w *csv.Writer, m map[string]string) {
+	for k, v := range m {
+		w.Write([]string{k, v}) // want `Write inside a range over a map`
+	}
+}
+
+func BadBuilder(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want `WriteString inside a range over a map`
+	}
+	return sb.String()
+}
+
+// The canonical fix: collect keys, sort, then emit. Must pass.
+func GoodSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// slices.Sort counts as the intervening sort too.
+func GoodSlicesSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+type kv struct {
+	k string
+	v int
+}
+
+// sort.Slice over a struct accumulator also counts.
+func GoodSortSlice(m map[string]int) []kv {
+	var rows []kv
+	for k, v := range m {
+		rows = append(rows, kv{k, v})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].k < rows[j].k })
+	return rows
+}
+
+// Ranging over a slice is ordered; append freely.
+func GoodSliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// Order-insensitive aggregation over a map is fine.
+func GoodAggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

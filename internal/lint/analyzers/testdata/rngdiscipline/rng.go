@@ -1,0 +1,15 @@
+// Golden input for the rngdiscipline analyzer; loaded as a generic
+// module package ("repro/internal/foo"), where stdlib randomness is
+// forbidden.
+package foo
+
+import (
+	crand "crypto/rand" // want `crypto/rand`
+	mrand "math/rand"   // want `math/rand`
+)
+
+func Draw() int {
+	b := make([]byte, 1)
+	_, _ = crand.Read(b)
+	return mrand.Intn(10) + int(b[0])
+}

@@ -1,0 +1,6 @@
+package foo
+
+import "math/rand"
+
+// _test.go files may seed throwaway generators; no diagnostics here.
+func helperRand() int { return rand.Intn(3) }

@@ -1,0 +1,33 @@
+// Golden input for the //lint:allow machinery, run against the full
+// analyzer suite under the import path "repro/internal/harness" (so
+// errclose applies). It pins down the three hygiene rules: a directive
+// silences exactly one line, unknown analyzer names are diagnostics,
+// and unused directives are diagnostics.
+package suppressed
+
+import "os"
+
+// Exactly one of these two unchecked closes is suppressed; the other
+// must still be reported.
+func TwoCloses(a, b *os.File) {
+	a.Close() //lint:allow errclose -- testdata: deliberately dropped
+	b.Close() // want `error from Close\(\) is silently dropped`
+}
+
+// The standalone form covers the line directly below the directive.
+func Standalone(f *os.File) {
+	//lint:allow errclose -- testdata: standalone form covers the next line
+	f.Close()
+}
+
+func Hygiene(f *os.File) {
+	var x int //lint:allow nosuch -- testdata // want `unknown analyzer "nosuch"`
+	_ = x
+	var y int //lint:allow errclose extra -- testdata // want `takes one analyzer name`
+	_ = y
+	var z int //lint:allow errclose -- testdata: nothing here to silence // want `unused //lint:allow errclose`
+	_ = z
+	// Naming the wrong analyzer both leaves the finding alive and
+	// reports the directive as unused.
+	f.Close() //lint:allow determinism -- testdata: wrong analyzer // want `silently dropped` `unused //lint:allow determinism`
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzSuppression drives the //lint:allow parser with arbitrary comment
+// text. The parser sits in front of every suppression decision `make
+// lint` makes, so its invariants are load-bearing: non-directives are
+// silently ignored, directives either parse into a (name, reason) pair
+// or produce an error, and nothing panics.
+func FuzzSuppression(f *testing.F) {
+	for _, s := range []string{
+		"// ordinary comment",
+		"//go:build linux",
+		"//lint:allow errclose -- close error already reported",
+		"//lint:allow errclose --",
+		"//lint:allow errclose",
+		"//lint:allow a b -- why",
+		"//lint:allow  -- why",
+		"//lint:deny errclose -- why",
+		"//lint:",
+		"lint:allow x -- y",
+		"//lint:allow x --\ty",
+		"//lint:allow x -- -- y",
+		"//lint:allow \xff -- y",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		name, reason, ok, err := ParseAllow(s)
+		if !ok {
+			// Not a lint directive at all: must be fully inert.
+			if name != "" || reason != "" || err != nil {
+				t.Fatalf("ParseAllow(%q): !ok but (%q, %q, %v)", s, name, reason, err)
+			}
+			// ...and only non-directives may be inert.
+			trimmed := strings.TrimPrefix(s, "//")
+			if strings.HasPrefix(trimmed, "lint:") {
+				t.Fatalf("ParseAllow(%q): looks like a directive but ok=false", s)
+			}
+			return
+		}
+		if err != nil {
+			if name != "" || reason != "" {
+				t.Fatalf("ParseAllow(%q): error %v but non-empty (%q, %q)", s, err, name, reason)
+			}
+			return
+		}
+		if name == "" || strings.ContainsAny(name, " \t") {
+			t.Fatalf("ParseAllow(%q): malformed analyzer name %q accepted", s, name)
+		}
+		if strings.TrimSpace(reason) == "" || reason != strings.TrimSpace(reason) {
+			t.Fatalf("ParseAllow(%q): reason %q not trimmed/non-empty", s, reason)
+		}
+	})
+}

@@ -1,0 +1,144 @@
+// Package lint is a zero-dependency static-analysis framework for this
+// repository, built on stdlib go/parser, go/ast, and go/types only.
+//
+// The repo's reproduction claims (Lemma 1 conservation, Theorem 1
+// stabilization counts, the Section 5 curves) rest on bit-for-bit
+// reproducible runs. The runtime guards (race pass, fuzz targets,
+// differential tests) catch nondeterminism after the fact; this package
+// is the compile-time layer that stops it from being written at all.
+// cmd/kpart-lint drives the analyzers in analyzers/ over the module and
+// is wired into `make check` as `make lint`.
+//
+// The moving parts:
+//
+//   - Loader (load.go) discovers, parses, and type-checks module
+//     packages using only go/parser and go/types, with the stdlib
+//     resolved through go/importer's "source" compiler.
+//   - Analyzer (this file) is one named check with a per-package Run
+//     pass and an optional whole-program Done pass.
+//   - Suppressions (suppress.go): a finding is silenced by a
+//     `//lint:allow <analyzer> -- reason` comment on the offending line
+//     or the line above it. The reason is mandatory, unknown analyzer
+//     names are themselves diagnostics, and unused suppressions are
+//     reported, so the suppression inventory can never rot.
+//   - Run (run.go) orchestrates passes over loaded packages and returns
+//     position-sorted diagnostics.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned for file:line:col display.
+type Diagnostic struct {
+	// Analyzer is the name of the check that produced the finding (or
+	// the reserved name "suppress" for suppression-hygiene findings).
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzer is a single named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //lint:allow
+	// comments. It must be a single lowercase word and must not be the
+	// reserved name "suppress".
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Applies reports whether the analyzer runs on the package with the
+	// given import path. nil means every package.
+	Applies func(pkgPath string) bool
+	// Run inspects one type-checked package and reports findings via
+	// pass.Reportf. It may stash cross-package facts in pass.State.
+	Run func(pass *Pass)
+	// Done, if non-nil, runs once after every package's Run pass, with
+	// the analyzer's accumulated State. It exists for whole-program
+	// invariants (e.g. a field used atomically in one package and
+	// plainly in another).
+	Done func(st *State, report func(pos token.Position, format string, args ...any))
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Path is the package import path ("repro/internal/sim").
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// State is shared across all of this analyzer's passes and its Done
+	// hook; it is never shared between analyzers.
+	State *State
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Position resolves a token.Pos against the pass's file set.
+func (p *Pass) Position(pos token.Pos) token.Position {
+	return p.Fset.Position(pos)
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Several
+// analyzers relax their invariant there (tests may time things and seed
+// throwaway generators without touching reproducibility of runs).
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// State is an analyzer-scoped scratch space that survives across
+// packages, for Done-phase whole-program checks.
+type State struct {
+	v map[string]any
+}
+
+// NewState returns an empty State.
+func NewState() *State { return &State{v: make(map[string]any)} }
+
+// Get returns the value under key, initializing it with init on first
+// use.
+func (s *State) Get(key string, init func() any) any {
+	if x, ok := s.v[key]; ok {
+		return x
+	}
+	x := init()
+	s.v[key] = x
+	return x
+}
+
+// ErrorType is the universe error type, for signature checks.
+var ErrorType = types.Universe.Lookup("error").Type()
+
+// CalleeFunc resolves the *types.Func a call expression invokes, looking
+// through parentheses and package-qualified or method selectors. It
+// returns nil for calls to builtins, function-typed variables, and
+// conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}

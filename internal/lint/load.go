@@ -1,0 +1,297 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks module packages with the standard
+// library alone. Module-local imports are resolved recursively from
+// source under the module root; everything else goes through
+// go/importer's "source" compiler, which type-checks the standard
+// library straight from GOROOT. No golang.org/x/tools, no export data.
+type Loader struct {
+	Fset *token.FileSet
+	// Module is the module path from go.mod ("repro").
+	Module string
+	// Root is the absolute module root directory.
+	Root string
+
+	std types.Importer
+	// canonical memoizes dependency-facing package loads (non-test
+	// files only, so in-package test imports can never induce a cycle).
+	canonical map[string]*canonicalPkg
+	// loading guards against import cycles during recursive loads.
+	loading map[string]bool
+}
+
+type canonicalPkg struct {
+	pkg *types.Package
+	err error
+}
+
+// Package is one fully loaded analysis unit: the package's non-test
+// files plus its in-package _test.go files, type-checked together.
+// External test packages (package foo_test) are not analysis units; see
+// Load.
+type Package struct {
+	// Path is the import path ("repro/internal/sim").
+	Path string
+	// Dir is the absolute directory.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// NewLoader creates a Loader rooted at the module containing dir,
+// reading the module path from go.mod.
+func NewLoader(dir string) (*Loader, error) {
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	module := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			module = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if module == "" {
+		return nil, fmt.Errorf("lint: no module line in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:      fset,
+		Module:    module,
+		Root:      root,
+		std:       importer.ForCompiler(fset, "source", nil),
+		canonical: make(map[string]*canonicalPkg),
+		loading:   make(map[string]bool),
+	}, nil
+}
+
+// Dirs lists the package directories the pattern names. "./..." (or
+// "...") expands to every package directory under the module root;
+// anything else is taken as one directory. Directories named testdata,
+// hidden directories, and directories without non-test Go files are
+// skipped, mirroring the go tool.
+func (l *Loader) Dirs(pattern string) ([]string, error) {
+	if pattern != "./..." && pattern != "..." {
+		abs, err := filepath.Abs(pattern)
+		if err != nil {
+			return nil, err
+		}
+		return []string{abs}, nil
+	}
+	var dirs []string
+	err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.Root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if isNonTestGoFile(e.Name()) {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// ImportPath maps a directory under the module root to its import path.
+func (l *Loader) ImportPath(dir string) (string, error) {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.Module, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module root %s", dir, l.Root)
+	}
+	return l.Module + "/" + filepath.ToSlash(rel), nil
+}
+
+// Load parses and type-checks the package in dir as an analysis unit:
+// non-test files plus in-package _test.go files. Files belonging to an
+// external test package (package foo_test) are excluded — they cannot
+// be type-checked in the same unit, and the invariants the analyzers
+// enforce concern production code paths.
+func (l *Loader) Load(dir string) (*Package, error) {
+	path, err := l.ImportPath(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.LoadDirAs(dir, path)
+}
+
+// LoadDirAs loads the package in dir under an explicit import path.
+// The golden-test harness uses it to type-check testdata packages as if
+// they lived at real module paths, exercising path-scoped analyzers.
+func (l *Loader) LoadDirAs(dir, path string) (*Package, error) {
+	files, err := l.parseDir(dir, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// Import implements types.Importer: module-local paths load recursively
+// from source; "unsafe" is the magic package; the rest is stdlib.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		return l.importLocal(path)
+	}
+	return l.std.Import(path)
+}
+
+// importLocal type-checks a module package for dependency use: non-test
+// files only, memoized, cycle-checked.
+func (l *Loader) importLocal(path string) (*types.Package, error) {
+	if c, ok := l.canonical[path]; ok {
+		return c.pkg, c.err
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(path, l.Module)))
+	pkg, err := l.checkDepPackage(dir, path)
+	l.canonical[path] = &canonicalPkg{pkg: pkg, err: err}
+	return pkg, err
+}
+
+func (l *Loader) checkDepPackage(dir, path string) (*types.Package, error) {
+	files, err := l.parseDir(dir, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s (for import %q)", dir, path)
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.Fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking dependency %s: %w", path, err)
+	}
+	return pkg, nil
+}
+
+// parseDir parses dir's Go files with comments. With includeTests, in-
+// package _test.go files are kept; external-test-package files are
+// always dropped.
+func (l *Loader) parseDir(dir string, includeTests bool) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if !strings.HasSuffix(n, ".go") || e.IsDir() || strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var files []*ast.File
+	pkgName := ""
+	var tests []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasSuffix(n, "_test.go") {
+			tests = append(tests, f)
+			continue
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		} else if f.Name.Name != pkgName {
+			return nil, fmt.Errorf("lint: %s: mixed packages %s and %s", dir, pkgName, f.Name.Name)
+		}
+		files = append(files, f)
+	}
+	for _, f := range tests {
+		// Keep only in-package test files; package foo_test is a
+		// separate compilation unit the go tool builds against the
+		// compiled package, which a pure source loader cannot mimic
+		// without duplicating the universe.
+		if f.Name.Name == pkgName {
+			files = append(files, f)
+		}
+	}
+	return files, nil
+}
+
+func isNonTestGoFile(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
+}

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+)
+
+// Run drives every applicable analyzer over the loaded packages,
+// applies //lint:allow suppression, and returns diagnostics sorted by
+// position. The reserved "suppress" pseudo-analyzer contributes
+// malformed-directive, unknown-name, and unused-suppression findings.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	states := make(map[string]*State, len(analyzers))
+	var sups []*Suppression
+
+	for _, pkg := range pkgs {
+		ps, pdiags := CollectSuppressions(pkg, known)
+		sups = append(sups, ps...)
+		diags = append(diags, pdiags...)
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(pkg.Path) {
+				continue
+			}
+			st, ok := states[a.Name]
+			if !ok {
+				st = NewState()
+				states[a.Name] = st
+			}
+			a.Run(&Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Path:     pkg.Path,
+				Files:    pkg.Files,
+				Pkg:      pkg.Pkg,
+				Info:     pkg.Info,
+				State:    st,
+				report:   report,
+			})
+		}
+	}
+	for _, a := range analyzers {
+		if a.Done == nil {
+			continue
+		}
+		st, ok := states[a.Name]
+		if !ok {
+			continue // never applied to any package
+		}
+		name := a.Name
+		a.Done(st, func(pos token.Position, format string, args ...any) {
+			diags = append(diags, Diagnostic{Analyzer: name, Pos: pos, Message: fmt.Sprintf(format, args...)})
+		})
+	}
+
+	out := ApplySuppressions(diags, sups)
+	SortDiagnostics(out)
+	return out
+}
+
+// SortDiagnostics orders by file, line, column, analyzer, message, so
+// output is stable run to run (the linter holds itself to the same
+// determinism bar it enforces).
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// WriteText prints diagnostics one per line as file:line:col: analyzer:
+// message.
+func WriteText(w io.Writer, ds []Diagnostic) error {
+	for _, d := range ds {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonDiagnostic is the machine-readable form emitted by -json.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON emits diagnostics as a JSON array (always an array, "[]"
+// when clean, so downstream tooling needs no special empty case).
+func WriteJSON(w io.Writer, ds []Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, jsonDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/explore"
 	"repro/internal/protocol"
@@ -106,6 +107,10 @@ func New(p protocol.Protocol, n int) (*Chain, error) {
 		for id, w := range probs {
 			ch.Out[i] = append(ch.Out[i], Edge{To: id, P: w})
 		}
+		// Edge order must not inherit map iteration order: the solvers
+		// sum these in sequence, and float addition is order-sensitive,
+		// so an unsorted list makes hitting times vary across runs.
+		sort.Slice(ch.Out[i], func(a, b int) bool { return ch.Out[i][a].To < ch.Out[i][b].To })
 	}
 	return ch, nil
 }

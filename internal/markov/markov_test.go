@@ -342,3 +342,32 @@ func TestSurvivalCurve(t *testing.T) {
 		}
 	}
 }
+
+// Edge lists must not inherit map iteration order: the solvers sum them
+// in sequence and float addition is order-sensitive, so chain
+// construction must be bit-deterministic. Building the same chain twice
+// in one process exercises Go's per-range map-order randomization;
+// before New sorted Out[i], this comparison could legitimately fail.
+func TestChainEdgeOrderDeterministic(t *testing.T) {
+	build := func() *Chain {
+		ch, err := New(core.MustNew(3), 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ch
+	}
+	a, b := build(), build()
+	for i := range a.Out {
+		if len(a.Out[i]) != len(b.Out[i]) {
+			t.Fatalf("node %d: edge counts differ across identical builds", i)
+		}
+		for j := range a.Out[i] {
+			if a.Out[i][j] != b.Out[i][j] {
+				t.Fatalf("node %d edge %d: %v vs %v across identical builds", i, j, a.Out[i][j], b.Out[i][j])
+			}
+			if j > 0 && a.Out[i][j-1].To >= a.Out[i][j].To {
+				t.Fatalf("node %d: edges not sorted by target: %v", i, a.Out[i])
+			}
+		}
+	}
+}
