@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt-check lint test race fuzz-smoke bench bench-json
+.PHONY: check build vet fmt-check lint test race fuzz-smoke bench bench-json serve-smoke serve-bench-json
 
 check: build vet fmt-check lint test race
 
@@ -28,9 +28,10 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # The repo's own static-analysis gate: determinism, rngdiscipline,
-# maporder, atomicfield, errclose (see internal/lint/analyzers and the
-# "Static analysis" section of DESIGN.md). Exits non-zero on any
-# finding; suppressions require `//lint:allow <analyzer> -- reason`.
+# maporder, atomicfield, errclose, tableclosure (see
+# internal/lint/analyzers and the "Static analysis" section of
+# DESIGN.md). Exits non-zero on any finding; suppressions require
+# `//lint:allow <analyzer> -- reason`.
 lint:
 	$(GO) run ./cmd/kpart-lint ./...
 
@@ -40,12 +41,13 @@ test:
 # Race pass over the concurrency-bearing packages: the obs metrics core
 # (atomic counters shared across workers), the parallel trial harness
 # (whose journal is appended from every worker), the checkpoint layer,
-# and the two engines the trials drive. -short skips the minutes-long
+# the two engines the trials drive, and the HTTP serving layer (worker
+# pool + admission queue + shared LRU). -short skips the minutes-long
 # statistical soaks (they run race-free under `test`); the concurrency
 # surface is fully covered either way.
 race:
 	$(GO) test -race -short ./internal/obs ./internal/harness ./internal/sim \
-		./internal/checkpoint ./internal/countsim
+		./internal/checkpoint ./internal/countsim ./internal/serve
 
 # Short exploratory pass over every fuzz target (the plain corpora run
 # under `test`); a real campaign raises -fuzztime.
@@ -60,3 +62,14 @@ bench:
 # Machine-readable perf trajectory; compare BENCH_kpart.json across PRs.
 bench-json:
 	$(GO) run ./cmd/kpart-bench -out BENCH_kpart.json
+
+# End-to-end liveness check of the serving layer: boots a loopback
+# kpart-serve, round-trips a trial, proves the cache hit is
+# byte-identical, streams a sweep, and shuts down cleanly.
+serve-smoke:
+	$(GO) run ./cmd/kpart-serve -smoke
+
+# Service perf trajectory: req/s, latency quantiles, cache hit rate
+# under a fixed loopback mix; compare BENCH_serve.json across PRs.
+serve-bench-json:
+	$(GO) run ./cmd/kpart-serve-bench -out BENCH_serve.json

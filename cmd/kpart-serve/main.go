@@ -1,0 +1,283 @@
+// Command kpart-serve exposes the simulation harness as an HTTP service:
+// trial and sweep requests come in as JSON, execute on a bounded worker
+// pool behind an explicit admission queue (full queue = 429 with
+// Retry-After, not an unbounded goroutine pile), and results are
+// memoized in a content-addressed cache keyed by harness.SpecKey — an
+// identical spec is computed once and replayed byte-for-byte.
+//
+// Usage:
+//
+//	kpart-serve [-addr :8080] [-workers 0] [-queue 64] [-cache 4096]
+//	            [-journal kpart-serve.journal] [-trial-timeout 0] [-retries 0]
+//	            [-debug-addr :6060] [-metrics-out path.jsonl]
+//	kpart-serve -smoke
+//
+// With -journal, completed trials are appended to the same crash-atomic
+// journal format the batch binaries use; a restarted server loads it and
+// answers GET /v1/results/{speckey} for prior work from disk. SIGINT
+// drains gracefully: in-flight trials abort through the harness's
+// context plumbing, the journal is flushed, and the process exits 130
+// like the other kpart binaries.
+//
+// -smoke runs a self-contained loopback round-trip (trial, cache hit,
+// result replay, health, sweep stream) and exits; `make serve-smoke`
+// uses it as the CI-level liveness check.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address for the API")
+		workers      = flag.Int("workers", 0, "trial workers (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", serve.DefaultQueueDepth, "admission queue depth (full queue answers 429)")
+		cacheN       = flag.Int("cache", serve.DefaultCacheEntries, "result cache capacity (entries)")
+		journalPath  = flag.String("journal", "", "journal path for persistent results (empty = in-memory only)")
+		trialTimeout = flag.Duration("trial-timeout", 0, "per-trial wall deadline (0 = none)")
+		retries      = flag.Int("retries", 0, "extra attempts for transiently failed trials")
+		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint sent with 429 responses")
+		sweepMax     = flag.Int("max-sweep-trials", serve.DefaultMaxSweepTrials, "largest trial count one sweep request may expand into")
+		debugAddr    = flag.String("debug-addr", "", "serve pprof and /debug/vars on this address (e.g. :6060)")
+		metricsOut   = flag.String("metrics-out", "", "write a metrics snapshot (JSONL) here on exit")
+		smoke        = flag.Bool("smoke", false, "run a loopback self-test and exit")
+	)
+	flag.Parse()
+
+	if *smoke {
+		if err := runSmoke(); err != nil {
+			fmt.Fprintln(os.Stderr, "kpart-serve: smoke:", err)
+			os.Exit(1)
+		}
+		fmt.Println("kpart-serve: smoke ok")
+		return
+	}
+
+	// A service is always instrumented: the registry feeds /healthz's
+	// richer sibling /debug/vars and the per-endpoint counters.
+	reg := obs.New("kpart_serve")
+	reg.PublishExpvar()
+	harness.SetMetrics(reg)
+
+	if *debugAddr != "" {
+		ln, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "kpart-serve: debug server on http://%s/debug/pprof\n", ln.Addr())
+	}
+
+	var journal *harness.Journal
+	if *journalPath != "" {
+		// OpenJournal resumes an existing journal (that is the point of a
+		// service restart) and degenerates to a fresh one on first boot.
+		j, err := harness.OpenJournal(*journalPath, "kpart-serve")
+		if err != nil {
+			fatal(err)
+		}
+		journal = j
+		if n := j.Len(); n > 0 {
+			fmt.Fprintf(os.Stderr, "kpart-serve: loaded %d completed trials from %s\n", n, *journalPath)
+		}
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheN,
+		Journal:        journal,
+		Registry:       reg,
+		RunOptions:     harness.RunOptions{TrialTimeout: *trialTimeout, Retries: *retries},
+		RetryAfter:     *retryAfter,
+		MaxSweepTrials: *sweepMax,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "kpart-serve: listening on http://%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		fatal(err)
+	}
+	stop() // a second signal kills the process the default way
+	fmt.Fprintln(os.Stderr, "kpart-serve: draining (in-flight trials abort; completed ones are journaled)")
+
+	// Drain order matters: abort trial execution first so blocked
+	// handlers return, then let the HTTP server finish those responses,
+	// and only then flush the journal nobody can touch anymore.
+	srv.Shutdown()
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "kpart-serve: http shutdown: %v\n", err)
+	}
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "kpart-serve: closing journal: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsOut != "" {
+		if err := reg.Snapshot().WriteFile(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "kpart-serve: writing metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "kpart-serve: wrote", *metricsOut)
+	}
+	os.Exit(130)
+}
+
+// runSmoke boots a loopback server with a throwaway journal and walks
+// the API end to end: trial round-trip, content-addressed cache hit
+// (byte-identical body), result replay by key, health, and a streamed
+// sweep. It is `make serve-smoke`.
+func runSmoke() error {
+	dir, err := os.MkdirTemp("", "kpart-serve-smoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	journal, err := harness.CreateJournal(dir+"/smoke.journal", "kpart-serve")
+	if err != nil {
+		return err
+	}
+	reg := obs.New("kpart_serve")
+	srv := serve.New(serve.Config{Workers: 2, QueueDepth: 8, Journal: journal, Registry: reg})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	post := func(path, body string) (*http.Response, []byte, error) {
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			return nil, nil, err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return resp, b, err
+	}
+
+	// 1. Trial round-trip (miss) and cache hit with an identical body.
+	resp1, body1, err := post("/v1/trials", `{"n":24,"k":4,"seed":7}`)
+	if err != nil {
+		return err
+	}
+	if resp1.StatusCode != http.StatusOK {
+		return fmt.Errorf("trial: status %d: %s", resp1.StatusCode, body1)
+	}
+	if got := resp1.Header.Get("X-Kpart-Cache"); got != "miss" {
+		return fmt.Errorf("first trial: cache header %q, want miss", got)
+	}
+	resp2, body2, err := post("/v1/trials", `{"n":24,"k":4,"seed":7}`)
+	if err != nil {
+		return err
+	}
+	if got := resp2.Header.Get("X-Kpart-Cache"); got != "lru" {
+		return fmt.Errorf("second trial: cache header %q, want lru", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		return fmt.Errorf("cache replay is not byte-identical:\n%s\n%s", body1, body2)
+	}
+	fmt.Println("smoke: trial round-trip + byte-identical cache hit")
+
+	// 2. Replay by content hash.
+	var rec struct {
+		SpecKey string `json:"spec_key"`
+	}
+	if err := json.Unmarshal(body1, &rec); err != nil {
+		return err
+	}
+	resp3, err := http.Get(base + "/v1/results/" + rec.SpecKey)
+	if err != nil {
+		return err
+	}
+	body3, err := io.ReadAll(resp3.Body)
+	_ = resp3.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp3.StatusCode != http.StatusOK || !bytes.Equal(body1, body3) {
+		return fmt.Errorf("result replay: status %d, identical=%t", resp3.StatusCode, bytes.Equal(body1, body3))
+	}
+	fmt.Println("smoke: GET /v1/results/" + rec.SpecKey)
+
+	// 3. Health.
+	resp4, err := http.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	_ = resp4.Body.Close()
+	if resp4.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: status %d", resp4.StatusCode)
+	}
+	fmt.Println("smoke: healthz ok")
+
+	// 4. Sweep stream: trials+1 NDJSON lines (records + point trailer).
+	resp5, body5, err := post("/v1/sweeps", `{"n":12,"k":3,"trials":4,"seed":1}`)
+	if err != nil {
+		return err
+	}
+	lines := 0
+	sc := bufio.NewScanner(bytes.NewReader(body5))
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) > 0 {
+			lines++
+		}
+	}
+	if resp5.StatusCode != http.StatusOK || lines != 5 {
+		return fmt.Errorf("sweep: status %d, %d NDJSON lines (want 5): %s", resp5.StatusCode, lines, body5)
+	}
+	fmt.Println("smoke: sweep streamed 4 records + aggregate trailer")
+
+	// 5. Clean shutdown: drain the pool, stop HTTP, flush the journal.
+	srv.Shutdown()
+	shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := journal.Close(); err != nil {
+		return fmt.Errorf("closing journal: %w", err)
+	}
+	if journal.Len() != 5 {
+		return fmt.Errorf("journal holds %d trials, want 5", journal.Len())
+	}
+	fmt.Println("smoke: graceful shutdown, journal flushed with 5 trials")
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kpart-serve:", err)
+	os.Exit(2)
+}

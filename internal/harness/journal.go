@@ -188,6 +188,16 @@ func (j *Journal) Lookup(spec TrialSpec) (Entry, bool) {
 	return e, ok
 }
 
+// LookupKey returns the journaled entry under a raw spec key. The HTTP
+// result endpoint resolves GET /v1/results/{speckey} through it — the
+// client holds only the content hash, not the spec that produced it.
+func (j *Journal) LookupKey(key string) (Entry, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e, ok := j.done[key]
+	return e, ok
+}
+
 // Len reports how many completed trials the journal holds.
 func (j *Journal) Len() int {
 	j.mu.Lock()

@@ -1,0 +1,62 @@
+package harness
+
+// SpecKey is the content address of a trial result: the serving layer's
+// cache, the journal's resume index, and GET /v1/results/{speckey} all
+// key on it. If TrialSpec ever grows a field that SpecKey does not
+// hash, two different trials collide under one key and the cache
+// silently serves the wrong result. This test makes that drift a
+// compile-visible failure: every TrialSpec field must be registered
+// here with a mutation, and every mutation must change the key.
+
+import (
+	"reflect"
+	"testing"
+)
+
+// specKeyMutations names every TrialSpec field SpecKey covers, with a
+// perturbation that must produce a different key. Adding a field to
+// TrialSpec without extending SpecKey AND this table fails the test.
+var specKeyMutations = map[string]func(*TrialSpec){
+	"N":               func(s *TrialSpec) { s.N++ },
+	"K":               func(s *TrialSpec) { s.K++ },
+	"Seed":            func(s *TrialSpec) { s.Seed++ },
+	"MaxInteractions": func(s *TrialSpec) { s.MaxInteractions++ },
+	"Grouping":        func(s *TrialSpec) { s.Grouping = !s.Grouping },
+	"Engine":          func(s *TrialSpec) { s.Engine = EngineCount },
+}
+
+func TestSpecKeyCoversEveryTrialSpecField(t *testing.T) {
+	typ := reflect.TypeOf(TrialSpec{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		if _, ok := specKeyMutations[name]; !ok {
+			t.Errorf("TrialSpec.%s is not covered by SpecKey: extend the hash in SpecKey and register a mutation here, or identical-looking specs with different %s will collide in the result cache",
+				name, name)
+		}
+	}
+	for name := range specKeyMutations {
+		if _, ok := typ.FieldByName(name); !ok {
+			t.Errorf("specKeyMutations lists %s, which TrialSpec no longer has", name)
+		}
+	}
+}
+
+func TestSpecKeyPerturbedByEveryField(t *testing.T) {
+	base := TrialSpec{N: 24, K: 4, Seed: 7, MaxInteractions: 1000, Grouping: false, Engine: EngineAgent}
+	baseKey := SpecKey(base)
+	if again := SpecKey(base); again != baseKey {
+		t.Fatalf("SpecKey is not deterministic: %s vs %s", baseKey, again)
+	}
+	for name, mutate := range specKeyMutations {
+		spec := base
+		mutate(&spec)
+		if spec == base {
+			t.Errorf("mutation for %s left the spec unchanged; the coverage check proves nothing for it", name)
+			continue
+		}
+		if SpecKey(spec) == baseKey {
+			t.Errorf("SpecKey ignores TrialSpec.%s: two specs differing only in %s share key %s",
+				name, name, baseKey)
+		}
+	}
+}

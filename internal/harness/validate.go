@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/protocol"
+)
+
+// MaxK is the largest group count a trial spec may request: the protocol
+// uses 3k−2 states and protocol.MaxStates bounds the table size.
+const MaxK = (protocol.MaxStates + 2) / 3
+
+// String names the engine the way the binaries' -engine flags spell it.
+func (e Engine) String() string {
+	switch e {
+	case EngineAgent:
+		return "agent"
+	case EngineCount:
+		return "count"
+	}
+	return fmt.Sprintf("engine(%d)", uint8(e))
+}
+
+// ParseEngine maps an -engine flag value ("agent" or "count") to an
+// Engine. Unknown names return an ErrInvalidSpec-wrapped error so callers
+// can treat them like any other malformed spec field.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "agent":
+		return EngineAgent, nil
+	case "count":
+		return EngineCount, nil
+	}
+	return EngineAgent, fmt.Errorf("%w: unknown engine %q (want agent or count)", ErrInvalidSpec, s)
+}
+
+// ValidateSpec checks that spec identifies a runnable trial WITHOUT
+// running it: group count in range, population size admitting a target
+// signature, and a known engine. Failures wrap ErrInvalidSpec — the same
+// sentinel runTrial returns — so admission layers (the HTTP service
+// rejects invalid specs with 400 before enqueueing them) and the retry
+// policy agree on what "unfixable" means.
+func ValidateSpec(spec TrialSpec) error {
+	if spec.K < 2 {
+		return fmt.Errorf("%w: k=%d (%v)", ErrInvalidSpec, spec.K, core.ErrBadK)
+	}
+	if spec.K > MaxK {
+		return fmt.Errorf("%w: k=%d exceeds the %d-state table bound (max k %d)",
+			ErrInvalidSpec, spec.K, protocol.MaxStates, MaxK)
+	}
+	if spec.Engine != EngineAgent && spec.Engine != EngineCount {
+		return fmt.Errorf("%w: unknown engine %d", ErrInvalidSpec, spec.Engine)
+	}
+	// Proto is safe now that k is in range; TargetCounts rejects
+	// populations with no stable signature (n < 3).
+	if _, err := Proto(spec.K).TargetCounts(spec.N); err != nil {
+		return fmt.Errorf("%w: n=%d k=%d: %v", ErrInvalidSpec, spec.N, spec.K, err)
+	}
+	return nil
+}

@@ -26,6 +26,7 @@ func All() []*lint.Analyzer {
 		MapOrder,
 		AtomicField,
 		ErrClose,
+		TableClosure,
 	}
 }
 
@@ -40,7 +41,11 @@ func inDeterministicPkg(path string) bool {
 		modPath + "/internal/countsim",
 		modPath + "/internal/population",
 		modPath + "/internal/explore",
-		modPath + "/internal/markov":
+		modPath + "/internal/markov",
+		// The serving layer's deterministic half: request/record
+		// documents and the content-addressed cache. Its HTTP/executor
+		// edge files are allowlisted in runDeterminism (serveEdgeFiles).
+		modPath + "/internal/serve":
 		return true
 	}
 	// internal/protocol and every internal/protocols/... variant.

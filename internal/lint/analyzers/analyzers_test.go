@@ -80,3 +80,39 @@ func TestErrCloseScopedToPersistencePaths(t *testing.T) {
 		t.Fatalf("errclose fired outside the persistence paths: %v", diags)
 	}
 }
+
+func TestTableClosureGolden(t *testing.T) {
+	linttest.Run(t, "testdata/tableclosure", "repro/internal/protocols/testproto", analyzers.TableClosure)
+}
+
+// Outside the table-construction packages (core, protocols/...) the
+// same builder misuse is not this analyzer's business. (The testdata's
+// //lint:allow line correctly surfaces as an unused suppression there,
+// so only tableclosure's own findings are asserted on.)
+func TestTableClosureScopedToProtocolPackages(t *testing.T) {
+	for _, d := range loadAs(t, "testdata/tableclosure", "repro/internal/harness", analyzers.TableClosure) {
+		if d.Analyzer == analyzers.TableClosure.Name {
+			t.Fatalf("tableclosure fired outside its package scope: %v", d)
+		}
+	}
+}
+
+// internal/serve splits by file: the HTTP/executor edge (pool.go,
+// server.go) may read the clock, the deterministic half may not.
+func TestDeterminismServeEdgeSplit(t *testing.T) {
+	linttest.Run(t, "testdata/determinismserve", "repro/internal/serve", analyzers.Determinism)
+}
+
+// The edge allowlist is keyed to the serve package: the same files
+// under an engine path get no exemption, and under a harness-layer
+// path no findings at all.
+func TestDeterminismServeEdgeScopes(t *testing.T) {
+	diags := loadAs(t, "testdata/determinismserve", "repro/internal/sim", analyzers.Determinism)
+	if len(diags) != 5 {
+		t.Fatalf("engine path must check every file (5 findings), got %v", diags)
+	}
+	diags = loadAs(t, "testdata/determinismserve", "repro/internal/harness", analyzers.Determinism)
+	if len(diags) != 0 {
+		t.Fatalf("determinism fired outside its package scope: %v", diags)
+	}
+}

@@ -1,0 +1,368 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// TableClosure checks protocol transition-table literals at their
+// construction sites: every state a rule references must have been
+// declared on the same builder, and a builder created symmetric must
+// not be handed rules that provably break the unordered-encounter
+// symmetry. protocol.Builder.Build catches all of this at runtime —
+// but the generators are called lazily (some only for large k), so a
+// malformed table can sit unexercised until an experiment sweeps past
+// it. This analyzer moves the provable subset of those failures to
+// `make lint`.
+//
+// The check is deliberately conservative. Real generators declare
+// states in loops, compute state indices (p.G(i), protocol.State(a)),
+// and pass builders to helpers; none of that is provable statically, so
+// a builder doing any of it keeps only the checks that stay sound:
+//
+//   - a constant state index is reported only when the builder's
+//     AddState calls were all statically countable and the index is
+//     provably outside 0..count-1;
+//   - a state variable (the result of x := b.AddState(...)) used in
+//     another builder's rule is always a bug — dense indices are only
+//     meaningful on the builder that issued them;
+//   - on a symmetric builder, AddOrderedRule is always rejected, and
+//     AddRule is reported only when the from-states are provably equal
+//     and the to-states provably different (distinct AddState results
+//     are distinct indices by construction).
+var TableClosure = &lint.Analyzer{
+	Name:    "tableclosure",
+	Doc:     "transition-table rules must reference declared states and respect builder symmetry",
+	Applies: inProtocolTablePkg,
+	Run:     runTableClosure,
+}
+
+// protocolTablePkgs are the packages that construct transition tables:
+// the paper's protocol (core) and the protocol zoo.
+func inProtocolTablePkg(path string) bool {
+	return path == modPath+"/internal/core" ||
+		strings.HasPrefix(path, modPath+"/internal/protocols/")
+}
+
+// builderPkg is the import path whose Builder methods the analyzer
+// models.
+const builderPkg = modPath + "/internal/protocol"
+
+// builderMethods are the protocol.Builder methods the analyzer
+// understands; a builder used any other way (helper call, stored in a
+// struct) forfeits the statically-countable state set.
+var builderMethods = map[string]bool{
+	"AddState":       true,
+	"SetInitial":     true,
+	"AddRule":        true,
+	"AddOrderedRule": true,
+	"Build":          true,
+	"MustBuild":      true,
+}
+
+// builderInfo is what the analyzer proves about one NewBuilder result.
+type builderInfo struct {
+	name     string // variable name, for messages
+	defIdent *ast.Ident
+	// loopPath is the chain of enclosing loops/closures at the
+	// definition; AddState calls under the same chain run exactly once
+	// per builder and are countable.
+	loopPath []ast.Node
+
+	symmetric bool
+	symKnown  bool // false when the symmetric argument is not a constant
+
+	count   int  // statically counted AddState calls
+	dynamic bool // AddState in a deeper loop, or the builder escaped
+	tainted bool // reassigned; all bets are off
+}
+
+type ruleCall struct {
+	b       *builderInfo
+	call    *ast.CallExpr
+	ordered bool
+}
+
+type initCall struct {
+	b    *builderInfo
+	call *ast.CallExpr
+}
+
+func runTableClosure(pass *lint.Pass) {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkBuilderFunc(pass, fd.Body)
+			}
+		}
+	}
+}
+
+func checkBuilderFunc(pass *lint.Pass, body *ast.BlockStmt) {
+	builders := map[types.Object]*builderInfo{}  // builder var -> info
+	stateVars := map[types.Object]*builderInfo{} // AddState result -> its builder
+	accounted := map[*ast.Ident]bool{}           // builder idents used as method receivers
+	var rules []ruleCall
+	var inits []initCall
+	var builderUses []*ast.Ident // every ident resolving to a tracked builder
+
+	var loopPath []ast.Node // enclosing for/range/func-literal chain
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if isLoopScope(top) {
+				loopPath = loopPath[:len(loopPath)-1]
+			}
+			return true
+		}
+		stack = append(stack, n)
+		if isLoopScope(n) {
+			loopPath = append(loopPath, n)
+		}
+
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// Pairwise LHS/RHS: register builder and state-var
+			// definitions, taint anything reassigned.
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if obj := pass.Info.Uses[id]; obj != nil {
+					// Reassignment of a tracked object.
+					if b, ok := builders[obj]; ok {
+						b.tainted = true
+					}
+					delete(stateVars, obj)
+					continue
+				}
+				obj := pass.Info.Defs[id]
+				if obj == nil || len(n.Lhs) != len(n.Rhs) {
+					continue
+				}
+				call, ok := ast.Unparen(n.Rhs[i]).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				fn := lint.CalleeFunc(pass.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != builderPkg {
+					continue
+				}
+				switch {
+				case fn.Name() == "NewBuilder" && len(call.Args) == 2:
+					b := &builderInfo{name: id.Name, defIdent: id, loopPath: append([]ast.Node(nil), loopPath...)}
+					if v := pass.Info.Types[call.Args[1]].Value; v != nil && v.Kind() == constant.Bool {
+						b.symmetric = constant.BoolVal(v)
+						b.symKnown = true
+					}
+					builders[obj] = b
+					accounted[id] = true
+				case fn.Name() == "AddState":
+					if b := receiverBuilder(pass, builders, call, accounted); b != nil {
+						stateVars[obj] = b
+					}
+				}
+			}
+
+		case *ast.UnaryExpr:
+			// Taking a tracked variable's address forfeits tracking.
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil {
+						if b, ok := builders[obj]; ok {
+							b.tainted = true
+						}
+						delete(stateVars, obj)
+					}
+				}
+			}
+
+		case *ast.CallExpr:
+			fn := lint.CalleeFunc(pass.Info, n)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != builderPkg || !builderMethods[fn.Name()] {
+				return true
+			}
+			b := receiverBuilder(pass, builders, n, accounted)
+			if b == nil {
+				return true
+			}
+			switch fn.Name() {
+			case "AddState":
+				// Countable only when it runs exactly once per builder:
+				// same enclosing loop/closure chain as the definition.
+				if samePath(loopPath, b.loopPath) {
+					b.count++
+				} else {
+					b.dynamic = true
+				}
+			case "AddRule", "AddOrderedRule":
+				rules = append(rules, ruleCall{b: b, call: n, ordered: fn.Name() == "AddOrderedRule"})
+			case "SetInitial":
+				inits = append(inits, initCall{b: b, call: n})
+			}
+
+		case *ast.Ident:
+			if obj := pass.Info.Uses[n]; obj != nil {
+				if _, ok := builders[obj]; ok {
+					builderUses = append(builderUses, n)
+				}
+			}
+		}
+		return true
+	})
+
+	// A builder ident used outside the modeled method calls escaped: a
+	// helper may add states we cannot count.
+	for _, id := range builderUses {
+		if !accounted[id] {
+			builders[pass.Info.Uses[id]].dynamic = true
+		}
+	}
+
+	for _, rc := range rules {
+		b := rc.b
+		if b.tainted || len(rc.call.Args) != 4 {
+			continue
+		}
+		for _, arg := range rc.call.Args {
+			checkStateArg(pass, b, builders, stateVars, arg)
+		}
+		if b.symKnown && b.symmetric {
+			if rc.ordered {
+				pass.Reportf(rc.call.Pos(),
+					"AddOrderedRule on symmetric builder %s: ordered rules break the unordered-encounter symmetry protocol.Build enforces",
+					b.name)
+			} else if provablyEqual(pass, stateVars, rc.call.Args[0], rc.call.Args[1]) &&
+				provablyUnequal(pass, stateVars, rc.call.Args[2], rc.call.Args[3]) {
+				pass.Reportf(rc.call.Pos(),
+					"asymmetric rule on symmetric builder %s: from-states are equal but to-states differ, so Build will reject this table",
+					b.name)
+			}
+		}
+	}
+	for _, ic := range inits {
+		if !ic.b.tainted && len(ic.call.Args) == 1 {
+			checkStateArg(pass, ic.b, builders, stateVars, ic.call.Args[0])
+		}
+	}
+}
+
+// receiverBuilder resolves call's receiver to a tracked builder,
+// marking the receiver ident as a modeled (non-escaping) use.
+func receiverBuilder(pass *lint.Pass, builders map[types.Object]*builderInfo, call *ast.CallExpr, accounted map[*ast.Ident]bool) *builderInfo {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	b := builders[pass.Info.Uses[id]]
+	if b != nil {
+		accounted[id] = true
+	}
+	return b
+}
+
+// checkStateArg reports arg when it provably names a state the builder
+// never declared: a constant outside the statically counted range, or
+// another builder's AddState result.
+func checkStateArg(pass *lint.Pass, b *builderInfo, builders map[types.Object]*builderInfo, stateVars map[types.Object]*builderInfo, arg ast.Expr) {
+	arg = ast.Unparen(arg)
+	if v, ok := constState(pass, arg); ok {
+		if !b.dynamic && (v < 0 || v >= int64(b.count)) {
+			pass.Reportf(arg.Pos(),
+				"state %d is not declared on builder %s: its %d AddState calls cover indices 0..%d",
+				v, b.name, b.count, b.count-1)
+		}
+		return
+	}
+	if id, ok := arg.(*ast.Ident); ok {
+		if owner, ok := stateVars[pass.Info.Uses[id]]; ok && owner != b {
+			pass.Reportf(arg.Pos(),
+				"state %s was declared on builder %s, not %s: dense state indices are only meaningful on the builder that issued them",
+				id.Name, owner.name, b.name)
+		}
+	}
+}
+
+// constState extracts a provably constant state index.
+func constState(pass *lint.Pass, arg ast.Expr) (int64, bool) {
+	tv := pass.Info.Types[arg]
+	if tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// provablyEqual holds when both args are the same untainted state
+// variable or equal constants.
+func provablyEqual(pass *lint.Pass, stateVars map[types.Object]*builderInfo, a, b ast.Expr) bool {
+	if av, ok := constState(pass, a); ok {
+		bv, ok := constState(pass, b)
+		return ok && av == bv
+	}
+	aid, aok := ast.Unparen(a).(*ast.Ident)
+	bid, bok := ast.Unparen(b).(*ast.Ident)
+	if !aok || !bok {
+		return false
+	}
+	obj := pass.Info.Uses[aid]
+	_, tracked := stateVars[obj]
+	return tracked && obj == pass.Info.Uses[bid]
+}
+
+// provablyUnequal holds for distinct constants or distinct AddState
+// results of the same builder — each AddState call returns a fresh
+// dense index, so two different result variables never alias.
+func provablyUnequal(pass *lint.Pass, stateVars map[types.Object]*builderInfo, a, b ast.Expr) bool {
+	if av, ok := constState(pass, a); ok {
+		bv, ok := constState(pass, b)
+		return ok && av != bv
+	}
+	aid, aok := ast.Unparen(a).(*ast.Ident)
+	bid, bok := ast.Unparen(b).(*ast.Ident)
+	if !aok || !bok {
+		return false
+	}
+	aobj, bobj := pass.Info.Uses[aid], pass.Info.Uses[bid]
+	ab, atracked := stateVars[aobj]
+	bb, btracked := stateVars[bobj]
+	return atracked && btracked && aobj != bobj && ab == bb
+}
+
+// samePath reports whether two loop/closure chains are identical, i.e.
+// the two program points execute the same number of times.
+func samePath(a, b []ast.Node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// isLoopScope reports whether n introduces a scope whose body may run
+// zero or many times per enclosing execution.
+func isLoopScope(n ast.Node) bool {
+	switch n.(type) {
+	case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+		return true
+	}
+	return false
+}

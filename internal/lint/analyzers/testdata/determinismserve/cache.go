@@ -1,0 +1,11 @@
+// The deterministic half of internal/serve: a file not in
+// serveEdgeFiles is held to the engine-package standard — cache
+// behavior and record identity must not depend on when a run happened.
+package serve
+
+import "time"
+
+func AgeBasedEviction() bool {
+	deadline := time.Now()                    // want `time\.Now in deterministic package`
+	return time.Since(deadline) > time.Minute // want `time\.Since`
+}

@@ -1,0 +1,13 @@
+// Golden input for the determinism analyzer's internal/serve scope:
+// this file is named like the executor edge (serveEdgeFiles), so its
+// wall-clock use is legal when the package is loaded as
+// "repro/internal/serve".
+package serve
+
+import "time"
+
+func EdgeTiming() time.Duration {
+	start := time.Now() // allowed: pool.go is the executor edge
+	time.Sleep(time.Microsecond)
+	return time.Since(start)
+}

@@ -1,0 +1,100 @@
+// Golden input for the tableclosure analyzer; the package is loaded
+// under the import path "repro/internal/protocols/testproto" so the
+// path scope applies. It imports the real protocol package — the
+// analyzer models protocol.Builder by its actual type identity.
+package testproto
+
+import "repro/internal/protocol"
+
+// Undeclared constant state indices on a statically countable builder.
+func BadConstState() *protocol.Table {
+	b := protocol.NewBuilder("bad-const", false)
+	a := b.AddState("a", 1)
+	c := b.AddState("c", 2)
+	b.AddRule(a, c, a, 3)                 // want `state 3 is not declared on builder b`
+	b.AddRule(a, c, protocol.State(7), c) // want `state 7 is not declared on builder b`
+	b.AddOrderedRule(a, 4, a, c)          // want `state 4 is not declared on builder b`
+	b.SetInitial(5)                       // want `state 5 is not declared on builder b`
+	b.SetInitial(a)
+	return b.MustBuild()
+}
+
+// State indices from one builder mean nothing on another.
+func BadCrossBuilder() {
+	b1 := protocol.NewBuilder("one", false)
+	b2 := protocol.NewBuilder("two", false)
+	x := b1.AddState("x", 1)
+	y := b2.AddState("y", 1)
+	b1.AddRule(x, y, x, x) // want `state y was declared on builder b2, not b1`
+	b2.AddRule(y, y, x, x) // want `state x was declared on builder b1, not b2` `state x was declared on builder b1, not b2`
+}
+
+// Symmetric builders reject ordered rules and provably asymmetric
+// rules at Build time; the analyzer catches them at lint time.
+func BadSymmetric() {
+	b := protocol.NewBuilder("sym", true)
+	p := b.AddState("p", 1)
+	q := b.AddState("q", 2)
+	b.AddOrderedRule(p, q, q, p) // want `AddOrderedRule on symmetric builder b`
+	b.AddRule(p, p, p, q)        // want `asymmetric rule on symmetric builder b`
+	b.AddRule(0, 0, 0, 1)        // want `asymmetric rule on symmetric builder b`
+	b.AddRule(p, p, q, q)        // equal to-states: symmetric, ok
+	b.AddRule(p, q, q, p)        // distinct from-states: ok
+}
+
+// AddState in a loop makes the state count dynamic: constant indices
+// must not be reported (the analyzer cannot bound the state set), but
+// cross-builder and symmetry violations stay provable.
+func OKDynamicStates(k int) {
+	b := protocol.NewBuilder("dyn", true)
+	for i := 0; i < k; i++ {
+		b.AddState("s", i+1)
+	}
+	b.AddRule(protocol.State(0), protocol.State(1), protocol.State(2), protocol.State(90)) // dynamic count: no report
+	b.AddOrderedRule(0, 1, 1, 0)                                                           // want `AddOrderedRule on symmetric builder b`
+}
+
+// Passing the builder to a helper escapes it — the helper may declare
+// more states, so constant indices are unprovable.
+func OKEscapedBuilder() {
+	b := protocol.NewBuilder("escaped", false)
+	b.AddState("a", 1)
+	declareMore(b)
+	b.AddRule(0, 1, 2, 3) // escaped: no report
+}
+
+func declareMore(b *protocol.Builder) {
+	b.AddState("extra1", 1)
+	b.AddState("extra2", 2)
+	b.AddState("extra3", 2)
+}
+
+// Computed state expressions are never provable; the real generators
+// (p.G(i), c.Base(i)) rely on this staying silent.
+func OKComputedStates(idx int) {
+	b := protocol.NewBuilder("computed", true)
+	b.AddState("a", 1)
+	b.AddState("c", 2)
+	b.AddRule(protocol.State(idx), protocol.State(idx), pick(idx), pick(idx+1))
+}
+
+func pick(i int) protocol.State { return protocol.State(i % 2) }
+
+// A reassigned builder variable is untracked: rules after the
+// reassignment must not be judged against the first builder's states.
+func OKReassignedBuilder(alt bool) {
+	b := protocol.NewBuilder("first", false)
+	b.AddState("a", 1)
+	if alt {
+		b = protocol.NewBuilder("second", false)
+	}
+	b.AddRule(0, 5, 5, 0) // tainted: no report
+}
+
+// The suppression escape hatch works here like for every analyzer.
+func SuppressedFinding() {
+	b := protocol.NewBuilder("suppressed", false)
+	a := b.AddState("a", 1)
+	//lint:allow tableclosure -- exercising the suppression path in testdata
+	b.AddRule(a, 9, a, a)
+}

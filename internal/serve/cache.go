@@ -1,0 +1,86 @@
+package serve
+
+// The result cache is content-addressed: keys are harness.SpecKey hashes
+// and values are encoded Records, so identical specs submitted by any
+// number of clients are computed once and replayed byte-for-byte.
+// Eviction is strict LRU by use order — never by wall-clock age, which
+// would make cache behavior (and the hit counters the tests assert on)
+// depend on when a run happened. This file is in the deterministic scope
+// of the determinism analyzer.
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a bounded LRU mapping spec keys to encoded result records.
+// Safe for concurrent use. Stored byte slices are shared, not copied;
+// they are written once at insert and must be treated as immutable.
+type Cache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// DefaultCacheEntries is the cache capacity when a Config leaves it 0.
+const DefaultCacheEntries = 4096
+
+// NewCache returns an LRU cache bounded to capacity entries (<= 0
+// selects DefaultCacheEntries).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheEntries
+	}
+	return &Cache{
+		cap: capacity,
+		ll:  list.New(),
+		m:   make(map[string]*list.Element),
+	}
+}
+
+// Get returns the record stored under key, marking it most recently
+// used. The returned slice must not be modified.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Put stores body under key (replacing any previous value) and reports
+// how many entries were evicted to stay within capacity.
+func (c *Cache) Put(key string, body []byte) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*cacheEntry).body = body
+		c.ll.MoveToFront(el)
+		return 0
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	evicted := 0
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.m, back.Value.(*cacheEntry).key)
+		evicted++
+	}
+	return evicted
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCachePutGet(t *testing.T) {
+	c := NewCache(4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	if ev := c.Put("a", []byte("1")); ev != 0 {
+		t.Fatalf("first insert evicted %d", ev)
+	}
+	got, ok := c.Get("a")
+	if !ok || string(got) != "1" {
+		t.Fatalf("Get(a) = %q, %t", got, ok)
+	}
+	if ev := c.Put("a", []byte("2")); ev != 0 || c.Len() != 1 {
+		t.Fatalf("replacing insert: evicted %d, len %d", ev, c.Len())
+	}
+	if got, _ := c.Get("a"); string(got) != "2" {
+		t.Fatalf("Get(a) after replace = %q", got)
+	}
+}
+
+// TestCacheEvictsLRU pins the eviction policy: strictly least recently
+// used, never age — cache behavior must not depend on wall time.
+func TestCacheEvictsLRU(t *testing.T) {
+	c := NewCache(3)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	c.Get("k0") // k0 is now most recently used; k1 is the LRU victim
+	if ev := c.Put("k3", []byte{3}); ev != 1 {
+		t.Fatalf("overflow insert evicted %d entries, want 1", ev)
+	}
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("k1 survived eviction; LRU order is wrong")
+	}
+	for _, key := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(key); !ok {
+			t.Fatalf("%s was evicted; want k1 only", key)
+		}
+	}
+}
+
+func TestCacheDefaultCapacity(t *testing.T) {
+	c := NewCache(0)
+	if c.cap != DefaultCacheEntries {
+		t.Fatalf("NewCache(0) capacity = %d, want %d", c.cap, DefaultCacheEntries)
+	}
+}

@@ -1,0 +1,310 @@
+package serve
+
+// The executor edge of the service: a fixed worker pool behind an
+// explicit bounded admission queue. Admission is the backpressure
+// mechanism — when the queue is full, TrySubmit fails and the HTTP layer
+// answers 429 instead of piling up goroutines. Workers execute trials
+// through the harness's context plumbing, so cancelling the pool's base
+// context (SIGINT) aborts in-flight trials at their next poll; completed
+// trials are already journaled and cached. Wall-clock use is legitimate
+// here (trial wall times are metadata, not results) — this file is in
+// the determinism analyzer's HTTP/executor-edge allowlist for
+// internal/serve.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/obs"
+)
+
+// Admission errors. The HTTP layer maps ErrQueueFull to 429 (with
+// Retry-After) and ErrDraining to 503.
+var (
+	ErrQueueFull = errors.New("serve: admission queue is full")
+	ErrDraining  = errors.New("serve: server is draining")
+)
+
+// DefaultQueueDepth bounds the admission queue when a Config leaves it 0.
+const DefaultQueueDepth = 64
+
+// runTrialFn is harness.RunTrialCtx, indirected so tests can pin
+// admission and drain behavior with a controllable executor. Swapped
+// only before a pool exists and restored after it closes.
+var runTrialFn = harness.RunTrialCtx
+
+// Job is one admitted trial: submit it, then Wait for its outcome.
+type Job struct {
+	Spec harness.TrialSpec
+	Key  string
+	done chan outcome // buffered; the worker never blocks on delivery
+
+	enqueued time.Time // set at admission, for the queue-wait histogram
+}
+
+type outcome struct {
+	rec  Record
+	body []byte
+	err  error
+}
+
+// Wait blocks until the job completes or ctx fires. The job keeps
+// running (and still fills the cache and journal) if the waiter gives
+// up.
+func (j *Job) Wait(ctx context.Context) (Record, []byte, error) {
+	select {
+	case out := <-j.done:
+		return out.rec, out.body, out.err
+	case <-ctx.Done():
+		return Record{}, nil, ctx.Err()
+	}
+}
+
+// Pool is the bounded execution core: admission queue, workers, the
+// content-addressed cache, and the optional journal that persists
+// results across restarts. Create one with NewPool, stop it with Close.
+type Pool struct {
+	ctx     context.Context
+	cancel  context.CancelFunc
+	opts    harness.RunOptions
+	journal *harness.Journal
+	cache   *Cache
+	workers int
+
+	mu     sync.RWMutex // guards closed vs. sends on queue
+	closed bool
+	queue  chan *Job
+	wg     sync.WaitGroup
+
+	inflight atomic.Int64
+
+	// Metrics are resolved once at construction (obs registry contract:
+	// no name lookups on the hot path).
+	cacheHits   obs.Counter
+	journalHits obs.Counter
+	cacheMisses obs.Counter
+	evictions   obs.Counter
+	admitted    obs.Counter
+	rejected    obs.Counter
+	trialsRun   obs.Counter
+	trialErrors obs.Counter
+	journalErrs obs.Counter
+	depthGauge  obs.Gauge
+	inflightG   obs.Gauge
+	trialWallUS obs.Histogram
+	queueWaitUS obs.Histogram
+}
+
+// NewPool starts workers goroutines consuming a queueDepth-bounded
+// admission queue (0 selects GOMAXPROCS workers / DefaultQueueDepth).
+// opts is the per-trial execution policy; its Journal and Progress
+// fields are ignored (the pool journals completed trials itself through
+// journal, which may be nil). reg may be nil for no metrics.
+func NewPool(workers, queueDepth int, opts harness.RunOptions, journal *harness.Journal, cache *Cache, reg *obs.Registry) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queueDepth <= 0 {
+		queueDepth = DefaultQueueDepth
+	}
+	if cache == nil {
+		cache = NewCache(0)
+	}
+	if reg == nil {
+		reg = obs.Nop()
+	}
+	opts.Journal = nil
+	opts.Progress = 0
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pool{
+		ctx: ctx, cancel: cancel,
+		opts: opts, journal: journal, cache: cache, workers: workers,
+		queue: make(chan *Job, queueDepth),
+
+		cacheHits:   reg.Counter("serve/cache_hits"),
+		journalHits: reg.Counter("serve/journal_hits"),
+		cacheMisses: reg.Counter("serve/cache_misses"),
+		evictions:   reg.Counter("serve/cache_evictions"),
+		admitted:    reg.Counter("serve/admitted"),
+		rejected:    reg.Counter("serve/rejected"),
+		trialsRun:   reg.Counter("serve/trials_run"),
+		trialErrors: reg.Counter("serve/trial_errors"),
+		journalErrs: reg.Counter("serve/journal_errors"),
+		depthGauge:  reg.Gauge("serve/queue_depth"),
+		inflightG:   reg.Gauge("serve/inflight"),
+		trialWallUS: reg.Histogram("serve/trial_wall_us"),
+		queueWaitUS: reg.Histogram("serve/queue_wait_us"),
+	}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Lookup serves key from the LRU or, failing that, from the journal a
+// restarted server loaded from disk (re-encoding the entry and warming
+// the LRU). The source string is "lru" or "journal".
+func (p *Pool) Lookup(key string) (body []byte, source string, ok bool) {
+	if body, ok := p.cache.Get(key); ok {
+		p.cacheHits.Inc()
+		return body, "lru", true
+	}
+	if p.journal != nil {
+		if e, ok := p.journal.LookupKey(key); ok {
+			rec := Record{SpecKey: key, Result: e.Result, WallUS: e.WallUS}
+			if body, err := rec.Encode(); err == nil {
+				p.evictions.Add(uint64(p.cache.Put(key, body)))
+				p.journalHits.Inc()
+				return body, "journal", true
+			}
+		}
+	}
+	p.cacheMisses.Inc()
+	return nil, "", false
+}
+
+// newJob wraps spec for submission.
+func newJob(spec harness.TrialSpec) *Job {
+	return &Job{
+		Spec:     spec,
+		Key:      harness.SpecKey(spec),
+		done:     make(chan outcome, 1),
+		enqueued: time.Now(),
+	}
+}
+
+// TrySubmit admits spec without blocking: ErrQueueFull when the
+// admission queue is at capacity, ErrDraining after Close.
+func (p *Pool) TrySubmit(spec harness.TrialSpec) (*Job, error) {
+	j := newJob(spec)
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return nil, ErrDraining
+	}
+	select {
+	case p.queue <- j:
+		p.admitted.Inc()
+		p.depthGauge.Add(1)
+		return j, nil
+	default:
+		p.rejected.Inc()
+		return nil, ErrQueueFull
+	}
+}
+
+// Submit admits spec, blocking until queue space frees up, ctx fires, or
+// the pool drains. Sweeps use it so a long point applies backpressure to
+// its own connection instead of failing mid-stream.
+func (p *Pool) Submit(ctx context.Context, spec harness.TrialSpec) (*Job, error) {
+	j := newJob(spec)
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return nil, ErrDraining
+	}
+	// Close cancels p.ctx before closing the queue channel, so a sender
+	// blocked here always exits via ErrDraining rather than racing the
+	// close.
+	select {
+	case p.queue <- j:
+		p.admitted.Inc()
+		p.depthGauge.Add(1)
+		return j, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-p.ctx.Done():
+		return nil, ErrDraining
+	}
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for j := range p.queue {
+		p.depthGauge.Add(-1)
+		p.queueWaitUS.Observe(uint64(time.Since(j.enqueued).Microseconds()))
+		j.done <- p.execute(j)
+	}
+}
+
+// execute runs one admitted job. An identical spec may have completed
+// while this one sat in the queue, so the cache is consulted once more
+// before paying for the simulation.
+func (p *Pool) execute(j *Job) outcome {
+	if body, ok := p.cache.Get(j.Key); ok {
+		p.cacheHits.Inc()
+		var rec Record
+		if err := json.Unmarshal(body, &rec); err == nil {
+			return outcome{rec: rec, body: body}
+		}
+	}
+	p.inflight.Add(1)
+	p.inflightG.Add(1)
+	defer func() {
+		p.inflight.Add(-1)
+		p.inflightG.Add(-1)
+	}()
+	start := time.Now()
+	res, err := runTrialFn(p.ctx, j.Spec, p.opts)
+	wall := time.Since(start)
+	if err != nil {
+		p.trialErrors.Inc()
+		return outcome{err: err}
+	}
+	p.trialsRun.Inc()
+	p.trialWallUS.Observe(uint64(wall.Microseconds()))
+	rec := Record{SpecKey: j.Key, Result: res, WallUS: uint64(wall.Microseconds())}
+	body, encErr := rec.Encode()
+	if encErr != nil {
+		return outcome{err: encErr}
+	}
+	if p.journal != nil {
+		// A journal append failure must not fail the response — the
+		// result is correct, only its persistence is degraded.
+		if jerr := p.journal.Append(j.Spec, res, wall); jerr != nil {
+			p.journalErrs.Inc()
+		}
+	}
+	p.evictions.Add(uint64(p.cache.Put(j.Key, body)))
+	return outcome{rec: rec, body: body}
+}
+
+// Depth reports the number of queued (not yet picked up) jobs.
+func (p *Pool) Depth() int { return len(p.queue) }
+
+// QueueCap reports the admission queue's capacity.
+func (p *Pool) QueueCap() int { return cap(p.queue) }
+
+// Workers reports the worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Inflight reports how many trials are executing right now.
+func (p *Pool) Inflight() int { return int(p.inflight.Load()) }
+
+// Closed reports whether the pool has begun draining.
+func (p *Pool) Closed() bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.closed
+}
+
+// Close drains the pool: the base context is cancelled first (in-flight
+// trials abort at their next cancellation poll, queued jobs fail fast),
+// then the queue is closed and the workers are awaited. Idempotent.
+func (p *Pool) Close() {
+	p.cancel()
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
