@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt-check lint test race fuzz-smoke bench bench-json serve-smoke serve-bench-json
+.PHONY: check build vet fmt-check lint test race fuzz-smoke bench bench-json serve-smoke serve-bench-json bench-diff bench-diff-report
 
-check: build vet fmt-check lint test race
+check: build vet fmt-check lint test race bench-diff-report
 
 build:
 	$(GO) build ./...
@@ -46,8 +46,8 @@ test:
 # statistical soaks (they run race-free under `test`); the concurrency
 # surface is fully covered either way.
 race:
-	$(GO) test -race -short ./internal/obs ./internal/harness ./internal/sim \
-		./internal/checkpoint ./internal/countsim ./internal/serve
+	$(GO) test -race -short ./internal/obs ./internal/obs/span ./internal/harness \
+		./internal/sim ./internal/checkpoint ./internal/countsim ./internal/serve
 
 # Short exploratory pass over every fuzz target (the plain corpora run
 # under `test`); a real campaign raises -fuzztime.
@@ -55,6 +55,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=5s ./internal/trace
 	$(GO) test -run='^$$' -fuzz=FuzzRestore -fuzztime=5s ./internal/checkpoint
 	$(GO) test -run='^$$' -fuzz=FuzzSuppression -fuzztime=5s ./internal/lint
+	$(GO) test -run='^$$' -fuzz=FuzzReadJSONL -fuzztime=5s ./internal/obs/span
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$
@@ -73,3 +74,18 @@ serve-smoke:
 # under a fixed loopback mix; compare BENCH_serve.json across PRs.
 serve-bench-json:
 	$(GO) run ./cmd/kpart-serve-bench -out BENCH_serve.json
+
+# Regression gate: run the serve benchmark fresh and diff it against the
+# committed BENCH_serve.json baseline (throughput-class metrics gate at
+# 20%, latency-class at 75% — internal/benchdiff holds the policy).
+# `bench-diff` fails the build on a regression; `bench-diff-report` (the
+# `check` flavor) prints the same comparison without failing, so tier-1
+# stays green on noisy hardware.
+BENCH_DIFF_FLAGS ?=
+bench-diff:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/kpart-serve-bench -out "$$tmp/BENCH_serve.json" >/dev/null && \
+	$(GO) run ./cmd/kpart-bench-diff $(BENCH_DIFF_FLAGS) BENCH_serve.json "$$tmp/BENCH_serve.json"
+
+bench-diff-report:
+	@$(MAKE) --no-print-directory bench-diff BENCH_DIFF_FLAGS=-report-only

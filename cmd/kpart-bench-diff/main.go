@@ -1,0 +1,68 @@
+// Command kpart-bench-diff is the benchmark regression gate: it
+// compares a current benchmark document (BENCH_kpart.json or
+// BENCH_serve.json) against a committed baseline and exits non-zero
+// when a gated metric worsened past its threshold (throughput-class
+// metrics gate at 20%, latency-class at 75%; see internal/benchdiff
+// for the policy and DESIGN.md for its rationale).
+//
+// Usage:
+//
+//	kpart-bench-diff [-report-only] [-v] baseline.json current.json
+//
+// `make bench-diff` produces a fresh BENCH_serve.json in a temp
+// directory and diffs it against the committed baseline; -report-only
+// (used by `make check`) prints the comparison without failing the
+// build, so the gate is informative on noisy hardware and enforcing
+// where the operator opts in.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchdiff"
+)
+
+func main() {
+	var (
+		reportOnly = flag.Bool("report-only", false, "print the comparison but always exit 0")
+		verbose    = flag.Bool("v", false, "show every compared metric, not just gated/moved ones")
+	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: kpart-bench-diff [-report-only] [-v] baseline.json current.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, err := benchdiff.LoadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := benchdiff.LoadFile(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	findings := benchdiff.Compare(base, cur, benchdiff.DefaultRules())
+	fmt.Printf("bench-diff: %s -> %s\n", flag.Arg(0), flag.Arg(1))
+	benchdiff.Render(os.Stdout, findings, *verbose)
+
+	if reg := benchdiff.Regressions(findings); len(reg) > 0 {
+		if *reportOnly {
+			fmt.Printf("bench-diff: %d regression(s) found (report-only mode, not failing)\n", len(reg))
+			return
+		}
+		fmt.Fprintf(os.Stderr, "bench-diff: %d regression(s) past threshold\n", len(reg))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kpart-bench-diff:", err)
+	os.Exit(2)
+}

@@ -65,6 +65,16 @@ func main() {
 				fatal(err)
 			}
 			pkgs = append(pkgs, pkg)
+			// The external test package (package foo_test), when one
+			// exists, is a second compilation unit over the same
+			// directory and gets the same analysis.
+			xtest, err := loader.LoadExternalTest(dir)
+			if err != nil {
+				fatal(err)
+			}
+			if xtest != nil {
+				pkgs = append(pkgs, xtest)
+			}
 		}
 	}
 

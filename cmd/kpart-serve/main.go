@@ -9,8 +9,16 @@
 //
 //	kpart-serve [-addr :8080] [-workers 0] [-queue 64] [-cache 4096]
 //	            [-journal kpart-serve.journal] [-trial-timeout 0] [-retries 0]
-//	            [-debug-addr :6060] [-metrics-out path.jsonl]
+//	            [-debug-addr :6060] [-metrics-out path.jsonl] [-trace-out spans.jsonl]
 //	kpart-serve -smoke
+//
+// GET /metrics on the API address serves the registry in Prometheus
+// text exposition format (and, with -debug-addr, on the debug address
+// too). With -trace-out, every request's span tree — request → queue →
+// trial → attempt → engine → per-#gk grouping phases — is appended to
+// the given JSONL file as it completes; clients may name their trace
+// with an X-Kpart-Trace header, which the response echoes. Render the
+// file with cmd/kpart-spans.
 //
 // With -journal, completed trials are appended to the same crash-atomic
 // journal format the batch binaries use; a restarted server loads it and
@@ -42,6 +50,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/serve"
 )
 
@@ -56,8 +65,9 @@ func main() {
 		retries      = flag.Int("retries", 0, "extra attempts for transiently failed trials")
 		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint sent with 429 responses")
 		sweepMax     = flag.Int("max-sweep-trials", serve.DefaultMaxSweepTrials, "largest trial count one sweep request may expand into")
-		debugAddr    = flag.String("debug-addr", "", "serve pprof and /debug/vars on this address (e.g. :6060)")
+		debugAddr    = flag.String("debug-addr", "", "serve pprof, /debug/vars and /metrics on this address (e.g. :6060)")
 		metricsOut   = flag.String("metrics-out", "", "write a metrics snapshot (JSONL) here on exit")
+		traceOut     = flag.String("trace-out", "", "append completed request span trees (JSONL) here")
 		smoke        = flag.Bool("smoke", false, "run a loopback self-test and exit")
 	)
 	flag.Parse()
@@ -75,7 +85,20 @@ func main() {
 	// richer sibling /debug/vars and the per-endpoint counters.
 	reg := obs.New("kpart_serve")
 	reg.PublishExpvar()
+	reg.PublishPrometheus()
 	harness.SetMetrics(reg)
+
+	var spans *span.Collector
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		traceFile = f
+		spans = span.NewCollector(f)
+		fmt.Fprintf(os.Stderr, "kpart-serve: tracing request spans to %s\n", *traceOut)
+	}
 
 	if *debugAddr != "" {
 		ln, err := obs.ServeDebug(*debugAddr)
@@ -105,6 +128,7 @@ func main() {
 		CacheEntries:   *cacheN,
 		Journal:        journal,
 		Registry:       reg,
+		Spans:          spans,
 		RunOptions:     harness.RunOptions{TrialTimeout: *trialTimeout, Retries: *retries},
 		RetryAfter:     *retryAfter,
 		MaxSweepTrials: *sweepMax,
@@ -150,6 +174,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintln(os.Stderr, "kpart-serve: wrote", *metricsOut)
+	}
+	if traceFile != nil {
+		if err := spans.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "kpart-serve: span sink: %v\n", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "kpart-serve: closing %s: %v\n", *traceOut, err)
+		}
 	}
 	os.Exit(130)
 }
@@ -242,6 +274,22 @@ func runSmoke() error {
 		return fmt.Errorf("healthz: status %d", resp4.StatusCode)
 	}
 	fmt.Println("smoke: healthz ok")
+
+	// 3b. Prometheus exposition: the trial above must show in the RED
+	// metrics.
+	respM, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	mBody, err := io.ReadAll(respM.Body)
+	_ = respM.Body.Close()
+	if err != nil {
+		return err
+	}
+	if respM.StatusCode != http.StatusOK || !bytes.Contains(mBody, []byte("serve_http_trials_requests_total")) {
+		return fmt.Errorf("/metrics: status %d, body %q", respM.StatusCode, mBody)
+	}
+	fmt.Println("smoke: /metrics exposition ok")
 
 	// 4. Sweep stream: trials+1 NDJSON lines (records + point trailer).
 	resp5, body5, err := post("/v1/sweeps", `{"n":12,"k":3,"trials":4,"seed":1}`)

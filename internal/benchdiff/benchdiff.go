@@ -1,0 +1,251 @@
+// Package benchdiff is the benchmark regression gate: it compares two
+// machine-readable benchmark documents (BENCH_kpart.json,
+// BENCH_serve.json — any JSON object of nested numeric metrics) and
+// judges each metric against a per-metric threshold policy.
+//
+// The policy is deliberately small and direction-aware:
+//
+//   - throughput metrics (requests_per_sec, interactions_per_sec) and
+//     cache_hit_rate are higher-better and gate at the default
+//     threshold (20% — the acceptance bar for this repository);
+//   - latency and wall-time metrics are lower-better but noisier on
+//     shared CI hardware, so they gate at a wider threshold;
+//   - everything else (counts, metadata echoes) is informational:
+//     reported, never gating.
+//
+// Documents are flattened to metric paths before comparison, so the
+// same engine handles the flat serve document and the per-point kpart
+// document (array elements keyed by their "name" field render as
+// "points[classic/agent].interactions_per_sec").
+package benchdiff
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path"
+	"sort"
+	"strings"
+)
+
+// Direction states which way a metric is allowed to move.
+type Direction int
+
+const (
+	// Info metrics are reported but never gate.
+	Info Direction = iota
+	// HigherBetter gates when the metric drops by more than the
+	// threshold fraction.
+	HigherBetter
+	// LowerBetter gates when the metric rises by more than the
+	// threshold fraction.
+	LowerBetter
+)
+
+func (d Direction) String() string {
+	switch d {
+	case HigherBetter:
+		return "higher-better"
+	case LowerBetter:
+		return "lower-better"
+	default:
+		return "info"
+	}
+}
+
+// Rule binds a metric-path pattern to a direction and threshold.
+// Patterns use path.Match syntax against the final path element
+// (e.g. "latency_ns_*") or, when they contain a '/', against the whole
+// flattened path. The first matching rule wins.
+type Rule struct {
+	Pattern   string
+	Direction Direction
+	// Threshold is the regression bound as a fraction of the baseline
+	// (0.20 = worsening by more than 20% fails). Zero means the
+	// package default.
+	Threshold float64
+}
+
+// DefaultThreshold is the gate for throughput-class metrics.
+const DefaultThreshold = 0.20
+
+// LatencyThreshold is the wider gate for latency-class metrics, which
+// on shared hardware are far noisier than throughput aggregates.
+const LatencyThreshold = 0.75
+
+// DefaultRules is the committed threshold policy (see DESIGN.md).
+func DefaultRules() []Rule {
+	return []Rule{
+		{Pattern: "requests_per_sec", Direction: HigherBetter, Threshold: DefaultThreshold},
+		{Pattern: "interactions_per_sec", Direction: HigherBetter, Threshold: DefaultThreshold},
+		{Pattern: "cache_hit_rate", Direction: HigherBetter, Threshold: DefaultThreshold},
+		{Pattern: "latency_ns_*", Direction: LowerBetter, Threshold: LatencyThreshold},
+		{Pattern: "wall_ns_*", Direction: LowerBetter, Threshold: LatencyThreshold},
+		{Pattern: "duration_ns", Direction: LowerBetter, Threshold: LatencyThreshold},
+	}
+}
+
+// matches reports whether rule's pattern applies to the flattened
+// metric path.
+func (r Rule) matches(metricPath string) bool {
+	target := metricPath
+	if !strings.Contains(r.Pattern, "/") {
+		if i := strings.LastIndexByte(metricPath, '.'); i >= 0 {
+			target = metricPath[i+1:]
+		}
+	}
+	ok, err := path.Match(r.Pattern, target)
+	return err == nil && ok
+}
+
+// Flatten reduces a decoded JSON document to metric paths mapped to
+// numeric values. Nested objects join with '.'; array elements use the
+// element's "name" field when it has one ("points[classic/agent]"),
+// else their index. Non-numeric leaves are dropped — they are metadata,
+// not metrics.
+func Flatten(doc any) map[string]float64 {
+	out := make(map[string]float64)
+	flattenInto(out, "", doc)
+	return out
+}
+
+func flattenInto(out map[string]float64, prefix string, v any) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, child := range t {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flattenInto(out, p, child)
+		}
+	case []any:
+		for i, child := range t {
+			key := fmt.Sprintf("%s[%d]", prefix, i)
+			if m, ok := child.(map[string]any); ok {
+				if name, ok := m["name"].(string); ok && name != "" {
+					key = fmt.Sprintf("%s[%s]", prefix, name)
+				}
+			}
+			flattenInto(out, key, child)
+		}
+	case float64:
+		out[prefix] = t
+	}
+}
+
+// Finding is the judgment on one metric present in both documents.
+type Finding struct {
+	Path      string
+	Direction Direction
+	Threshold float64
+	Base, Cur float64
+	// Delta is the signed relative change from baseline ((cur-base)/base).
+	Delta float64
+	// Regressed is true when a gated metric worsened past its threshold.
+	Regressed bool
+}
+
+// Compare judges every metric present in both flattened documents
+// under rules, sorted by path. Metrics present in only one document
+// are skipped — the gate exists to catch movement, not schema drift.
+func Compare(base, cur map[string]float64, rules []Rule) []Finding {
+	paths := make([]string, 0, len(base))
+	for p := range base {
+		if _, ok := cur[p]; ok {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+	findings := make([]Finding, 0, len(paths))
+	for _, p := range paths {
+		f := Finding{Path: p, Base: base[p], Cur: cur[p]}
+		for _, r := range rules {
+			if r.matches(p) {
+				f.Direction = r.Direction
+				f.Threshold = r.Threshold
+				if f.Threshold == 0 {
+					f.Threshold = DefaultThreshold
+				}
+				break
+			}
+		}
+		if f.Base != 0 {
+			f.Delta = (f.Cur - f.Base) / math.Abs(f.Base)
+		}
+		// A zero baseline has no meaningful ratio; such metrics are
+		// reported but cannot gate.
+		if f.Base != 0 {
+			switch f.Direction {
+			case HigherBetter:
+				f.Regressed = f.Delta < -f.Threshold
+			case LowerBetter:
+				f.Regressed = f.Delta > f.Threshold
+			}
+		}
+		findings = append(findings, f)
+	}
+	return findings
+}
+
+// Regressions filters findings down to the gating failures.
+func Regressions(findings []Finding) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		if f.Regressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// LoadFile decodes a benchmark document and flattens it.
+func LoadFile(pathname string) (map[string]float64, error) {
+	f, err := os.Open(pathname)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Load decodes a benchmark document from r and flattens it.
+func Load(r io.Reader) (map[string]float64, error) {
+	var doc any
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("benchdiff: decoding document: %w", err)
+	}
+	if _, ok := doc.(map[string]any); !ok {
+		return nil, fmt.Errorf("benchdiff: document is not a JSON object")
+	}
+	return Flatten(doc), nil
+}
+
+// Render writes the findings as an aligned report: one line per gated
+// metric (and any regressed one), a verdict per line, and a summary.
+// Info metrics that moved less than DefaultThreshold are elided to
+// keep the report readable; pass verbose to show every metric.
+func Render(w io.Writer, findings []Finding, verbose bool) {
+	shown := 0
+	for _, f := range findings {
+		interesting := f.Direction != Info || math.Abs(f.Delta) > DefaultThreshold
+		if !verbose && !interesting {
+			continue
+		}
+		shown++
+		verdict := "ok"
+		switch {
+		case f.Regressed:
+			verdict = fmt.Sprintf("REGRESSED (>%g%% %s)", f.Threshold*100, f.Direction)
+		case f.Direction == Info:
+			verdict = "info"
+		}
+		fmt.Fprintf(w, "%-50s %14.4g -> %14.4g  %+7.1f%%  %s\n",
+			f.Path, f.Base, f.Cur, f.Delta*100, verdict)
+	}
+	reg := len(Regressions(findings))
+	fmt.Fprintf(w, "%d metrics compared, %d shown, %d regressed\n", len(findings), shown, reg)
+}

@@ -1,0 +1,141 @@
+package benchdiff
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const serveDoc = `{
+  "created_at": "2026-08-05T01:24:13Z",
+  "go": "go1.24.0",
+  "requests_per_sec": 27000.0,
+  "latency_ns_p50": 225621,
+  "latency_ns_p99": 2077377,
+  "cache_hit_rate": 0.968,
+  "rejected_429": 0,
+  "trials_run": 64
+}`
+
+const kpartDoc = `{
+  "go_version": "go1.24.0",
+  "points": [
+    {"name": "classic/agent", "n": 100, "interactions_per_sec": 1e7, "wall_ns_mean": 100},
+    {"name": "count/count", "n": 100, "interactions_per_sec": 5e7, "wall_ns_mean": 50}
+  ]
+}`
+
+func mustLoad(t *testing.T, doc string) map[string]float64 {
+	t.Helper()
+	m, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFlattenServeDoc(t *testing.T) {
+	m := mustLoad(t, serveDoc)
+	if m["requests_per_sec"] != 27000 {
+		t.Fatalf("requests_per_sec = %v", m["requests_per_sec"])
+	}
+	if _, ok := m["created_at"]; ok {
+		t.Fatal("non-numeric leaf must be dropped")
+	}
+}
+
+func TestFlattenKpartDocNamesPoints(t *testing.T) {
+	m := mustLoad(t, kpartDoc)
+	if m["points[classic/agent].interactions_per_sec"] != 1e7 {
+		t.Fatalf("named point path missing: %v", m)
+	}
+	if m["points[count/count].wall_ns_mean"] != 50 {
+		t.Fatalf("named point path missing: %v", m)
+	}
+}
+
+// TestThroughputRegressionGates is the acceptance case: an injected
+// >20% requests_per_sec drop must come back Regressed.
+func TestThroughputRegressionGates(t *testing.T) {
+	base := mustLoad(t, serveDoc)
+	cur := mustLoad(t, strings.Replace(serveDoc, "27000.0", "21000.0", 1)) // -22%
+	findings := Compare(base, cur, DefaultRules())
+	reg := Regressions(findings)
+	if len(reg) != 1 || reg[0].Path != "requests_per_sec" {
+		t.Fatalf("regressions = %+v, want exactly requests_per_sec", reg)
+	}
+}
+
+func TestSmallMovementPasses(t *testing.T) {
+	base := mustLoad(t, serveDoc)
+	cur := mustLoad(t, strings.Replace(serveDoc, "27000.0", "24000.0", 1)) // -11%
+	if reg := Regressions(Compare(base, cur, DefaultRules())); len(reg) != 0 {
+		t.Fatalf("11%% drop must pass, got %+v", reg)
+	}
+}
+
+func TestLatencyUsesWiderThreshold(t *testing.T) {
+	base := mustLoad(t, serveDoc)
+	// +50% latency: inside the 75% latency gate.
+	cur := mustLoad(t, strings.Replace(serveDoc, "225621", "338431", 1))
+	if reg := Regressions(Compare(base, cur, DefaultRules())); len(reg) != 0 {
+		t.Fatalf("+50%% p50 must pass the latency gate, got %+v", reg)
+	}
+	// +100% latency: regression.
+	cur = mustLoad(t, strings.Replace(serveDoc, "225621", "451242", 1))
+	reg := Regressions(Compare(base, cur, DefaultRules()))
+	if len(reg) != 1 || reg[0].Path != "latency_ns_p50" {
+		t.Fatalf("+100%% p50 must gate, got %+v", reg)
+	}
+}
+
+func TestImprovementNeverGates(t *testing.T) {
+	base := mustLoad(t, serveDoc)
+	cur := mustLoad(t, strings.Replace(strings.Replace(serveDoc,
+		"27000.0", "54000.0", 1), // throughput doubles
+		"225621", "10", 1)) // p50 collapses
+	if reg := Regressions(Compare(base, cur, DefaultRules())); len(reg) != 0 {
+		t.Fatalf("improvements gated: %+v", reg)
+	}
+}
+
+func TestZeroBaselineNeverGates(t *testing.T) {
+	base := mustLoad(t, `{"requests_per_sec": 0}`)
+	cur := mustLoad(t, `{"requests_per_sec": 100}`)
+	if reg := Regressions(Compare(base, cur, DefaultRules())); len(reg) != 0 {
+		t.Fatalf("zero baseline gated: %+v", reg)
+	}
+}
+
+func TestPerPointRulesApply(t *testing.T) {
+	base := mustLoad(t, kpartDoc)
+	cur := mustLoad(t, strings.Replace(kpartDoc, "1e7", "7e6", 1)) // -30%
+	reg := Regressions(Compare(base, cur, DefaultRules()))
+	if len(reg) != 1 || reg[0].Path != "points[classic/agent].interactions_per_sec" {
+		t.Fatalf("per-point throughput must gate: %+v", reg)
+	}
+}
+
+func TestRenderReportsVerdicts(t *testing.T) {
+	base := mustLoad(t, serveDoc)
+	cur := mustLoad(t, strings.Replace(serveDoc, "27000.0", "21000.0", 1))
+	var buf bytes.Buffer
+	findings := Compare(base, cur, DefaultRules())
+	Render(&buf, findings, false)
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "requests_per_sec") {
+		t.Fatalf("render missing verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "1 regressed") {
+		t.Fatalf("render missing summary:\n%s", out)
+	}
+}
+
+func TestLoadRejectsNonObject(t *testing.T) {
+	if _, err := Load(strings.NewReader(`[1,2,3]`)); err == nil {
+		t.Fatal("array document must be rejected")
+	}
+	if _, err := Load(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+}

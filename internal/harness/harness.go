@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/countsim"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/population"
 	"repro/internal/rng"
 	"repro/internal/sched"
@@ -180,34 +181,71 @@ func RunTrial(spec TrialSpec) (TrialResult, error) {
 // seeds, and per-trial metrics (including retry/timeout counters) are
 // recorded when a registry is installed. The returned result's Spec
 // carries the seed that actually produced it.
+//
+// When ctx carries a span (span.FromContext), the run is traced: a
+// "trial" span with one "attempt" child per execution (retries show up
+// as extra attempts under their re-derived seeds), each attempt holding
+// its engine span and per-#gk phase spans. The span tree's identity is
+// deterministic for a fixed spec; only the wall stamps, taken here at
+// the harness edge, vary run to run.
 func RunTrialCtx(ctx context.Context, spec TrialSpec, opts RunOptions) (TrialResult, error) {
 	reg := Metrics()
+	tspan := span.FromContext(ctx).Child("trial")
+	tspan.SetAttr("n", fmt.Sprint(spec.N)).
+		SetAttr("k", fmt.Sprint(spec.K)).
+		SetAttr("seed", fmt.Sprintf("%#x", spec.Seed)).
+		SetAttr("engine", spec.Engine.String())
+	tsw := span.StartWall()
+	endTrial := func(res TrialResult, err error) (TrialResult, error) {
+		if err != nil {
+			tspan.SetAttr("outcome", "error")
+		} else {
+			tspan.SetAttr("outcome", "ok").
+				SetAttr("converged", fmt.Sprint(res.Converged)).
+				SetAttr("attempts", fmt.Sprint(res.Attempts))
+			tspan.SetSeq(0, res.Interactions)
+		}
+		tsw.StopInto(tspan)
+		tspan.End()
+		return res, err
+	}
 	attempt := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			reg.Counter("harness/canceled").Inc()
-			return TrialResult{}, err
+			return endTrial(TrialResult{}, err)
 		}
 		tctx := ctx
 		cancel := context.CancelFunc(nil)
 		if opts.TrialTimeout > 0 {
 			tctx, cancel = context.WithTimeout(ctx, opts.TrialTimeout)
 		}
+		aspan := tspan.Child("attempt").
+			SetAttr("attempt", fmt.Sprint(attempt+1)).
+			SetAttr("seed", fmt.Sprintf("%#x", spec.Seed))
+		asw := span.StartWall()
 		start := time.Now()
-		res, err := runTrial(tctx, spec, opts)
+		res, err := runTrial(span.NewContext(tctx, aspan), spec, opts)
 		wall := time.Since(start)
+		asw.StopInto(aspan)
+		if err != nil {
+			aspan.SetAttr("outcome", "error")
+		} else {
+			aspan.SetSeq(0, res.Interactions)
+		}
+		aspan.End()
 		if cancel != nil {
 			cancel()
 		}
 		observeTrial(reg, res, err, wall)
 		if err == nil {
 			res.Attempts = attempt + 1
-			return res, nil
+			return endTrial(res, nil)
 		}
 		if ctx.Err() != nil {
 			// The batch (not this trial's deadline) was cancelled.
 			reg.Counter("harness/canceled").Inc()
-			return TrialResult{}, ctx.Err()
+			return endTrial(TrialResult{}, ctx.Err())
 		}
 		if errors.Is(err, context.DeadlineExceeded) {
 			reg.Counter("harness/timeouts").Inc()
@@ -215,14 +253,14 @@ func RunTrialCtx(ctx context.Context, spec TrialSpec, opts RunOptions) (TrialRes
 				spec.N, spec.K, spec.Seed, attempt+1, opts.TrialTimeout, err)
 		}
 		if errors.Is(err, ErrInvalidSpec) || attempt >= opts.Retries {
-			return TrialResult{}, err
+			return endTrial(TrialResult{}, err)
 		}
 		attempt++
 		reg.Counter("harness/retries").Inc()
 		spec.Seed = RetrySeed(spec.Seed, attempt)
 		if serr := sleepCtx(ctx, backoffDelay(opts.Backoff, attempt)); serr != nil {
 			reg.Counter("harness/canceled").Inc()
-			return TrialResult{}, serr
+			return endTrial(TrialResult{}, serr)
 		}
 	}
 }
@@ -243,6 +281,13 @@ func runTrial(ctx context.Context, spec TrialSpec, ropts RunOptions) (TrialResul
 		gc = &sim.GroupingCounter{Watch: p.G(spec.K)}
 		opts.Hooks = []sim.Hook{gc}
 	}
+	// A traced run gets an engine span with per-#gk phase children. The
+	// spans are observational only — they never feed back into the result,
+	// so a traced and an untraced run of the same spec stay byte-identical.
+	espan := span.FromContext(ctx).Child("engine/agent")
+	if espan != nil {
+		opts.Hooks = append(opts.Hooks, &obs.PhaseSpans{Watch: p.G(spec.K), Parent: espan})
+	}
 	if ropts.Progress > 0 {
 		opts.Hooks = append(opts.Hooks, &obs.Progress{
 			Every: ropts.Progress,
@@ -250,6 +295,12 @@ func runTrial(ctx context.Context, spec TrialSpec, ropts RunOptions) (TrialResul
 		})
 	}
 	res, err := sim.Run(pop, sched.NewRandom(spec.Seed), sim.NewCountTarget(p.CanonMap(), target), opts)
+	if espan != nil {
+		espan.SetSeq(0, res.Interactions).
+			SetAttr("interactions", fmt.Sprint(res.Interactions)).
+			SetAttr("productive", fmt.Sprint(res.Productive))
+		espan.End()
+	}
 	if err != nil {
 		return TrialResult{}, err
 	}
@@ -296,16 +347,34 @@ func runCountTrial(ctx context.Context, p *core.Protocol, spec TrialSpec, ropts 
 			Label: fmt.Sprintf("n=%d k=%d seed=%#x", spec.N, spec.K, spec.Seed),
 		}
 	}
+	// A traced run gets an engine span plus one "phase/grouping" child
+	// per #gk milestone, timed on the engine's own interaction counter
+	// (which includes the geometrically skipped null batches). Milestones
+	// are detected for tracing even when the spec did not ask for marks,
+	// but the spans never leak into the result: Marks stays nil unless
+	// spec.Grouping, so traced and untraced results are byte-identical.
+	espan := span.FromContext(ctx).Child("engine/count")
+	trackPhases := spec.Grouping || espan != nil
+	phases := 0
+	var prevMark uint64
 	pred := func(counts []int) bool {
 		if prog != nil {
 			prog.MaybeReport(s.Interactions(), s.Productive(), func() int {
 				return spreadOf(p.GroupSizesFromCounts(counts))
 			})
 		}
-		if spec.Grouping {
+		if trackPhases {
 			if c := counts[gk]; c > best {
 				for i := best; i < c; i++ {
-					marks = append(marks, s.Interactions())
+					if spec.Grouping {
+						marks = append(marks, s.Interactions())
+					}
+					phases++
+					espan.Child("phase/grouping").
+						SetAttr("index", fmt.Sprint(phases)).
+						SetSeq(prevMark, s.Interactions()).
+						End()
+					prevMark = s.Interactions()
 				}
 				best = c
 			}
@@ -324,6 +393,12 @@ func runCountTrial(ctx context.Context, p *core.Protocol, spec TrialSpec, ropts 
 		return true
 	}
 	ok, err := s.RunUntilCtx(ctx, pred, maxI)
+	if espan != nil {
+		espan.SetSeq(0, s.Interactions()).
+			SetAttr("interactions", fmt.Sprint(s.Interactions())).
+			SetAttr("productive", fmt.Sprint(s.Productive()))
+		espan.End()
+	}
 	if err != nil {
 		return TrialResult{}, err
 	}

@@ -44,8 +44,13 @@ func inDeterministicPkg(path string) bool {
 		modPath + "/internal/markov",
 		// The serving layer's deterministic half: request/record
 		// documents and the content-addressed cache. Its HTTP/executor
-		// edge files are allowlisted in runDeterminism (serveEdgeFiles).
-		modPath + "/internal/serve":
+		// edge files are allowlisted in runDeterminism (edgeFiles).
+		modPath + "/internal/serve",
+		// The span tracer: trace/span IDs, structure, and sequence
+		// intervals are replay identity and must never depend on when a
+		// run happened. Only its wall.go edge file (edgeFiles) may stamp
+		// wall durations.
+		modPath + "/internal/obs/span":
 		return true
 	}
 	// internal/protocol and every internal/protocols/... variant.

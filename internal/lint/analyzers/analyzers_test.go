@@ -1,7 +1,9 @@
 package analyzers_test
 
 import (
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/lint"
@@ -114,5 +116,123 @@ func TestDeterminismServeEdgeScopes(t *testing.T) {
 	diags = loadAs(t, "testdata/determinismserve", "repro/internal/harness", analyzers.Determinism)
 	if len(diags) != 0 {
 		t.Fatalf("determinism fired outside its package scope: %v", diags)
+	}
+}
+
+// internal/obs/span splits by file the same way: wall.go is the one
+// sanctioned wall-clock edge, everything else carries replay identity
+// and is checked like an engine package.
+func TestDeterminismSpanEdgeSplit(t *testing.T) {
+	linttest.Run(t, "testdata/determinismspan", "repro/internal/obs/span", analyzers.Determinism)
+}
+
+// The wall.go exemption is keyed to the span package path: under an
+// engine path every file is checked, and under a harness-layer path
+// none are.
+func TestDeterminismSpanEdgeScopes(t *testing.T) {
+	diags := loadAs(t, "testdata/determinismspan", "repro/internal/sim", analyzers.Determinism)
+	if len(diags) != 4 {
+		t.Fatalf("engine path must check every file (4 findings), got %v", diags)
+	}
+	diags = loadAs(t, "testdata/determinismspan", "repro/internal/harness", analyzers.Determinism)
+	if len(diags) != 0 {
+		t.Fatalf("determinism fired outside its package scope: %v", diags)
+	}
+}
+
+// External test packages (package foo_test) are analysis units too.
+// atomicfield's Done phase joins facts program-wide, so a plain read
+// from an external test of a field that the package writes atomically
+// is exactly the cross-unit race the xtest loader exists to catch —
+// and is invisible when only the in-package unit is analyzed.
+func TestAtomicFieldCoversExternalTestPackages(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		p := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.com/m\n\ngo 1.22\n")
+	write("p/p.go", `package p
+
+import "sync/atomic"
+
+type Counter struct{ N uint64 }
+
+func (c *Counter) Bump() { atomic.AddUint64(&c.N, 1) }
+`)
+	write("p/x_test.go", `package p_test
+
+import (
+	"testing"
+
+	"example.com/m/p"
+)
+
+func TestPlainRead(t *testing.T) {
+	var c p.Counter
+	c.Bump()
+	if c.N == 0 {
+		t.Fatal("no bump")
+	}
+}
+`)
+
+	dir := filepath.Join(root, "p")
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xtest, err := loader.LoadExternalTest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xtest == nil {
+		t.Fatal("LoadExternalTest returned nil for a dir with package p_test files")
+	}
+	if xtest.Path != "example.com/m/p" {
+		t.Fatalf("xtest unit path = %q, want the directory's canonical import path", xtest.Path)
+	}
+	if got := xtest.Pkg.Name(); got != "p_test" {
+		t.Fatalf("xtest package name = %q, want p_test", got)
+	}
+
+	if diags := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{analyzers.AtomicField}); len(diags) != 0 {
+		t.Fatalf("the in-package unit alone should be clean, got %v", diags)
+	}
+	diags := lint.Run([]*lint.Package{pkg, xtest}, []*lint.Analyzer{analyzers.AtomicField})
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 atomicfield finding from the xtest unit, got %v", diags)
+	}
+	if !strings.Contains(diags[0].Pos.Filename, "x_test.go") {
+		t.Fatalf("finding should point into x_test.go, got %v", diags[0])
+	}
+}
+
+// A directory without external test files is not an xtest unit.
+func TestLoadExternalTestAbsent(t *testing.T) {
+	abs, err := filepath.Abs("testdata/determinism")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := lint.NewLoader(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xtest, err := loader.LoadExternalTest(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xtest != nil {
+		t.Fatalf("want nil unit for a dir without package foo_test files, got %+v", xtest)
 	}
 }

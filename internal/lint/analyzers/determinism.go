@@ -36,16 +36,24 @@ var Determinism = &lint.Analyzer{
 	Run:     runDeterminism,
 }
 
-// serveEdgeFiles are the HTTP/executor edge of internal/serve, where
-// wall-clock use is the job (latency histograms, Retry-After, trial
-// wall times). Everything else in the package computes or caches
-// results, whose content-addressed identity must be a pure function of
-// the spec — so cache.go and spec.go are checked like an engine
-// package. Growing this set needs the same review as adding a timing
+// edgeFiles name the sanctioned wall-clock edges inside otherwise
+// deterministic packages, keyed by import path. In internal/serve the
+// HTTP/executor edge (server.go, pool.go) is where wall-clock use is
+// the job — latency histograms, Retry-After, trial wall times — while
+// cache.go and spec.go compute content-addressed identities and are
+// checked like an engine package. In internal/obs/span the entire
+// identity model (IDs, sequence intervals, structure) is deterministic
+// by contract and only wall.go may stamp wall durations onto spans.
+// Growing any of these sets needs the same review as adding a timing
 // call to an engine.
-var serveEdgeFiles = map[string]bool{
-	"server.go": true,
-	"pool.go":   true,
+var edgeFiles = map[string]map[string]bool{
+	modPath + "/internal/serve": {
+		"server.go": true,
+		"pool.go":   true,
+	},
+	modPath + "/internal/obs/span": {
+		"wall.go": true,
+	},
 }
 
 func runDeterminism(pass *lint.Pass) {
@@ -53,8 +61,8 @@ func runDeterminism(pass *lint.Pass) {
 		if pass.InTestFile(f.Pos()) {
 			continue
 		}
-		if pass.Path == modPath+"/internal/serve" &&
-			serveEdgeFiles[filepath.Base(pass.Position(f.Pos()).Filename)] {
+		if ef := edgeFiles[pass.Path]; ef != nil &&
+			ef[filepath.Base(pass.Position(f.Pos()).Filename)] {
 			continue
 		}
 		ast.Inspect(f, func(n ast.Node) bool {

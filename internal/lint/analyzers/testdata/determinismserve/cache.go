@@ -1,5 +1,5 @@
 // The deterministic half of internal/serve: a file not in
-// serveEdgeFiles is held to the engine-package standard — cache
+// edgeFiles is held to the engine-package standard — cache
 // behavior and record identity must not depend on when a run happened.
 package serve
 

@@ -1,5 +1,5 @@
 // Golden input for the determinism analyzer's internal/serve scope:
-// this file is named like the executor edge (serveEdgeFiles), so its
+// this file is named like the executor edge (edgeFiles), so its
 // wall-clock use is legal when the package is loaded as
 // "repro/internal/serve".
 package serve

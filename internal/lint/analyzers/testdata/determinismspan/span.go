@@ -1,0 +1,15 @@
+// The deterministic core of internal/obs/span: span identity — trace
+// and span IDs, structure, sequence intervals — is replay identity, so
+// any file other than the wall.go edge is held to the engine-package
+// standard.
+package span
+
+import "time"
+
+func StampStart() int64 {
+	return time.Now().UnixNano() // want `time\.Now in deterministic package`
+}
+
+func WaitForExport() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep`
+}

@@ -1,0 +1,12 @@
+// Golden input for the determinism analyzer's internal/obs/span scope:
+// this file is named like the sanctioned timing edge (edgeFiles), so
+// its wall-clock use is legal when the package is loaded as
+// "repro/internal/obs/span".
+package span
+
+import "time"
+
+func EdgeStopwatch() time.Duration {
+	start := time.Now() // allowed: wall.go is the timing edge
+	return time.Since(start)
+}

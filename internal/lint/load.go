@@ -156,15 +156,45 @@ func (l *Loader) ImportPath(dir string) (string, error) {
 
 // Load parses and type-checks the package in dir as an analysis unit:
 // non-test files plus in-package _test.go files. Files belonging to an
-// external test package (package foo_test) are excluded — they cannot
-// be type-checked in the same unit, and the invariants the analyzers
-// enforce concern production code paths.
+// external test package (package foo_test) form a second compilation
+// unit; load them with LoadExternalTest.
 func (l *Loader) Load(dir string) (*Package, error) {
 	path, err := l.ImportPath(dir)
 	if err != nil {
 		return nil, err
 	}
 	return l.LoadDirAs(dir, path)
+}
+
+// LoadExternalTest parses and type-checks dir's external test package
+// (package foo_test) as its own analysis unit. The returned Package
+// keeps the directory's canonical import path, so path-scoped Applies
+// functions treat the unit exactly like the package under test; the
+// go/types check itself runs under a "_test"-suffixed path because a
+// unit cannot import its own path. Directories without external test
+// files return (nil, nil).
+func (l *Loader) LoadExternalTest(dir string) (*Package, error) {
+	path, err := l.ImportPath(dir)
+	if err != nil {
+		return nil, err
+	}
+	files, err := l.parseXTestDir(dir)
+	if err != nil || len(files) == 0 {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path+"_test", l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s external tests: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Pkg: pkg, Info: info}, nil
 }
 
 // LoadDirAs loads the package in dir under an explicit import path.
@@ -287,6 +317,45 @@ func (l *Loader) parseDir(dir string, includeTests bool) ([]*ast.File, error) {
 		if f.Name.Name == pkgName {
 			files = append(files, f)
 		}
+	}
+	return files, nil
+}
+
+// parseXTestDir parses the external-test-package files in dir: the
+// _test.go files whose package clause carries the "_test" suffix. The
+// in-package files those tests import resolve through importLocal like
+// any other dependency.
+func (l *Loader) parseXTestDir(dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var files []*ast.File
+	pkgName := ""
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if !strings.HasSuffix(f.Name.Name, "_test") {
+			continue
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		} else if f.Name.Name != pkgName {
+			return nil, fmt.Errorf("lint: %s: mixed external test packages %s and %s", dir, pkgName, f.Name.Name)
+		}
+		files = append(files, f)
 	}
 	return files, nil
 }

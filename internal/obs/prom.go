@@ -1,0 +1,162 @@
+package obs
+
+// Prometheus text-format exposition (version 0.0.4) for the metrics
+// registry: counters become <name>_total, gauges stay flat, and the
+// power-of-two histograms render as proper cumulative <name>_bucket
+// series with _sum and _count. Every sample carries a registry label,
+// so several registries (a service's and the harness's, say) can share
+// one /metrics endpoint without name collisions.
+//
+// The rendering is deterministic: metrics sort by name, buckets ascend,
+// and values are integers — the golden test in prom_test.go pins the
+// exact byte output for a seeded registry.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// promName sanitizes a registry metric name ("serve/http/trials/latency_us")
+// into a Prometheus metric name ("serve_http_trials_latency_us"): every
+// byte outside [a-zA-Z0-9_:] maps to '_', and a leading digit gains a
+// '_' prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case '0' <= c && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabel escapes a label value per the text format (backslash,
+// double quote, newline).
+func promLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// WritePrometheus renders the registry's current metrics in the
+// Prometheus text exposition format. A disabled registry writes
+// nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := writeProm(bw, r.Snapshot()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeProm(w io.Writer, snap Snapshot) error {
+	label := fmt.Sprintf(`{registry="%s"}`, promLabel(snap.Registry))
+	for _, m := range snap.Metrics {
+		name := promName(m.Name)
+		switch m.Kind {
+		case "counter":
+			if _, err := fmt.Fprintf(w, "# TYPE %s_total counter\n%s_total%s %d\n",
+				name, name, label, m.Value); err != nil {
+				return err
+			}
+		case "gauge":
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %d\n",
+				name, name, label, m.Gauge); err != nil {
+				return err
+			}
+		case "histogram":
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+				return err
+			}
+			cum := uint64(0)
+			reg := promLabel(snap.Registry)
+			for _, b := range m.Buckets {
+				cum += b.Count
+				if _, err := fmt.Fprintf(w, "%s_bucket{registry=\"%s\",le=\"%d\"} %d\n",
+					name, reg, b.Le, cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{registry=\"%s\",le=\"+Inf\"} %d\n%s_sum%s %d\n%s_count%s %d\n",
+				name, reg, m.Count, name, label, m.Sum, name, label, m.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PrometheusHandler returns an http.Handler serving the registry's
+// metrics in the text exposition format; mount it at GET /metrics.
+func (r *Registry) PrometheusHandler() http.Handler {
+	return promHandler(func(w io.Writer) error { return r.WritePrometheus(w) })
+}
+
+// promContentType is the text exposition format's content type.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+func promHandler(write func(io.Writer) error) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", promContentType)
+		// Rendering reads atomics only; an error here is a client
+		// disconnect, of no interest to the process.
+		_ = write(w)
+	})
+}
+
+// --- process-wide publication (the -debug-addr server) ----------------------
+
+var (
+	promMu   sync.Mutex
+	promRegs []*Registry
+	promHook sync.Once
+)
+
+// PublishPrometheus adds the registry to the process's /metrics
+// endpoint on http.DefaultServeMux — the mux ServeDebug serves — so any
+// binary with -debug-addr exposes Prometheus metrics next to pprof and
+// expvar. Registries render in publication order; publishing the same
+// registry twice, or a disabled registry, is a no-op.
+func (r *Registry) PublishPrometheus() {
+	if !r.Enabled() {
+		return
+	}
+	promMu.Lock()
+	for _, prev := range promRegs {
+		if prev == r {
+			promMu.Unlock()
+			return
+		}
+	}
+	promRegs = append(promRegs, r)
+	promMu.Unlock()
+	promHook.Do(func() {
+		http.Handle("GET /metrics", promHandler(writePublished))
+	})
+}
+
+// writePublished renders every published registry in publication order.
+func writePublished(w io.Writer) error {
+	promMu.Lock()
+	regs := append([]*Registry(nil), promRegs...)
+	promMu.Unlock()
+	for _, r := range regs {
+		if err := r.WritePrometheus(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

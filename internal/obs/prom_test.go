@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// seededRegistry builds a registry with one metric of each kind at
+// known values, mirroring the serve RED metrics' shape.
+func seededRegistry() *Registry {
+	r := New("test")
+	c := r.Counter("serve/http/trials/requests")
+	for i := 0; i < 7; i++ {
+		c.Inc()
+	}
+	r.Gauge("pool/queue_depth").Set(3)
+	h := r.Histogram("serve/http/trials/latency_us")
+	for _, v := range []uint64{1, 2, 3, 900, 1000, 70000} {
+		h.Observe(v)
+	}
+	return r
+}
+
+// TestWritePrometheusGolden pins the exact text-format output for a
+// seeded registry: TYPE lines, _total counters, cumulative _bucket
+// series with +Inf, and _sum/_count.
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := seededRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# TYPE pool_queue_depth gauge`,
+		`pool_queue_depth{registry="test"} 3`,
+		`# TYPE serve_http_trials_latency_us histogram`,
+		`serve_http_trials_latency_us_bucket{registry="test",le="1"} 1`,
+		`serve_http_trials_latency_us_bucket{registry="test",le="3"} 3`,
+		`serve_http_trials_latency_us_bucket{registry="test",le="1023"} 5`,
+		`serve_http_trials_latency_us_bucket{registry="test",le="131071"} 6`,
+		`serve_http_trials_latency_us_bucket{registry="test",le="+Inf"} 6`,
+		`serve_http_trials_latency_us_sum{registry="test"} 71906`,
+		`serve_http_trials_latency_us_count{registry="test"} 6`,
+		`# TYPE serve_http_trials_requests_total counter`,
+		`serve_http_trials_requests_total{registry="test"} 7`,
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPrometheusHandler(t *testing.T) {
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	seededRegistry().PrometheusHandler().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != promContentType {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "serve_http_trials_requests_total") {
+		t.Fatalf("body missing counter:\n%s", rec.Body.String())
+	}
+}
+
+func TestWritePrometheusDisabled(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Nop().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("disabled registry wrote %q", buf.String())
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"serve/http/trials/latency_us": "serve_http_trials_latency_us",
+		"status_2xx":                   "status_2xx",
+		"9lives":                       "_9lives",
+		"a:b.c":                        "a:b_c",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package span
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleSpans() []Span {
+	return []Span{
+		{Trace: "t1", ID: "0001", Name: "request", WallStartUS: 10, WallDurUS: 100},
+		{Trace: "t1", ID: "0002", Parent: "0001", Name: "queue", WallStartUS: 11, WallDurUS: 5},
+		{Trace: "t1", ID: "0003", Parent: "0001", Name: "trial", WallStartUS: 16, WallDurUS: 90},
+		{Trace: "t1", ID: "0004", Parent: "0003", Name: "phase/grouping", StartSeq: 0, EndSeq: 40},
+		{Trace: "t1", ID: "0005", Parent: "0003", Name: "phase/grouping", StartSeq: 40, EndSeq: 90},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	in := sampleSpans()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round-trip length %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if eqSpan(in[i]) != eqSpan(out[i]) {
+			t.Errorf("span %d round-tripped as %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+// comparableSpan is Span minus the non-comparable Attrs slice (the
+// sample spans carry none).
+type comparableSpan struct {
+	trace, id, parent, name            string
+	startSeq, endSeq, wallStart, wallD uint64
+}
+
+func eqSpan(s Span) comparableSpan {
+	return comparableSpan{s.Trace, s.ID, s.Parent, s.Name, s.StartSeq, s.EndSeq, s.WallStartUS, s.WallDurUS}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{\"trace\":\"t\",\"id\":\"1\",\"name\":\"a\"}\nnot json\n")); err == nil {
+		t.Fatal("malformed line must error")
+	}
+	if _, err := ReadJSONL(strings.NewReader("{\"name\":\"orphan\"}\n")); err == nil {
+		t.Fatal("span without trace/id must error")
+	}
+	spans, err := ReadJSONL(strings.NewReader("\n  \n"))
+	if err != nil || len(spans) != 0 {
+		t.Fatalf("blank input: %v, %v", spans, err)
+	}
+}
+
+func TestBuildTreesAndCriticalPath(t *testing.T) {
+	trees := BuildTrees(sampleSpans())
+	if len(trees) != 1 || trees[0].Trace != "t1" {
+		t.Fatalf("trees = %+v", trees)
+	}
+	roots := trees[0].Roots
+	if len(roots) != 1 || roots[0].Span.Name != "request" {
+		t.Fatalf("roots = %+v", roots)
+	}
+	if len(roots[0].Children) != 2 {
+		t.Fatalf("request has %d children, want 2", len(roots[0].Children))
+	}
+	path := CriticalPath(roots[0])
+	var names []string
+	for _, n := range path {
+		names = append(names, n.Span.Name)
+	}
+	want := "request trial phase/grouping"
+	if strings.Join(names, " ") != want {
+		t.Fatalf("critical path %v, want %q", names, want)
+	}
+	// The chosen phase span is the costlier one (seq delta 50 vs 40).
+	if last := path[len(path)-1].Span; last.ID != "0005" {
+		t.Fatalf("critical path leaf %s, want 0005", last.ID)
+	}
+}
+
+func TestBuildTreesOrphanBecomesRoot(t *testing.T) {
+	trees := BuildTrees([]Span{{Trace: "t", ID: "0002", Parent: "0001", Name: "orphan"}})
+	if len(trees) != 1 || len(trees[0].Roots) != 1 {
+		t.Fatalf("orphan span must render as a root: %+v", trees)
+	}
+}
+
+func TestRollup(t *testing.T) {
+	stats := Rollup(sampleSpans())
+	byName := make(map[string]NameStat)
+	for _, s := range stats {
+		byName[s.Name] = s
+	}
+	ph := byName["phase/grouping"]
+	if ph.Count != 2 || ph.SeqDelta != 90 {
+		t.Fatalf("phase rollup = %+v, want count 2, seq 90", ph)
+	}
+	if byName["request"].WallDurUS != 100 {
+		t.Fatalf("request rollup = %+v", byName["request"])
+	}
+	// Descending wall duration: request first.
+	if stats[0].Name != "request" {
+		t.Fatalf("rollup order %v", stats)
+	}
+}
+
+// FuzzReadJSONL is the fuzz-smoke seed for the span decoder: whatever
+// the input, the reader must return cleanly (spans or error), never
+// panic, and every span it does return must carry a trace and an ID.
+func FuzzReadJSONL(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, sampleSpans()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("")
+	f.Add("{\"trace\":\"t\",\"id\":\"1\",\"name\":\"x\",\"attrs\":[{\"k\":\"a\",\"v\":\"b\"}]}\n")
+	f.Add("not json at all\n")
+	f.Add("{\"trace\":\"\",\"id\":\"\"}\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		spans, err := ReadJSONL(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for _, s := range spans {
+			if s.Trace == "" || s.ID == "" {
+				t.Fatalf("decoder accepted a span without identity: %+v", s)
+			}
+		}
+		// Decoded spans must re-encode and re-decode stably.
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, spans); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadJSONL(&buf)
+		if err != nil {
+			t.Fatalf("re-decoding our own encoding failed: %v", err)
+		}
+		if len(again) != len(spans) {
+			t.Fatalf("re-decode length %d, want %d", len(again), len(spans))
+		}
+	})
+}

@@ -1,0 +1,165 @@
+package span
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestSpanIDsFollowStartOrder(t *testing.T) {
+	tr := NewTrace("t1")
+	root := tr.Root("request")
+	q := root.Child("queue")
+	trial := root.Child("trial")
+	q.End()
+	trial.End()
+	root.End()
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	// IDs are assigned in start order: request, queue, trial.
+	wantNames := map[string]string{"0001": "request", "0002": "queue", "0003": "trial"}
+	for _, s := range spans {
+		if wantNames[s.ID] != s.Name {
+			t.Errorf("span %s has name %q, want %q", s.ID, s.Name, wantNames[s.ID])
+		}
+	}
+}
+
+func TestNilSpanIsNoOp(t *testing.T) {
+	var s *ActiveSpan
+	c := s.Child("x")
+	if c != nil {
+		t.Fatal("Child of nil span must be nil")
+	}
+	s.SetAttr("k", "v").SetSeq(1, 2).SetWall(3, 4)
+	s.End() // must not panic
+	if s.Trace() != nil || s.ID() != "" {
+		t.Fatal("nil span must report empty trace and ID")
+	}
+	var col *Collector
+	if col.NewTrace("t") != nil || col.Export() != nil || col.Err() != nil {
+		t.Fatal("nil collector must be inert")
+	}
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	tr := NewTrace("t")
+	s := tr.Root("r")
+	s.End()
+	s.End()
+	if got := len(tr.Spans()); got != 1 {
+		t.Fatalf("double End recorded %d spans, want 1", got)
+	}
+}
+
+func TestAttrsSortedAndOverwritten(t *testing.T) {
+	tr := NewTrace("t")
+	s := tr.Root("r")
+	s.SetAttr("z", "1").SetAttr("a", "2").SetAttr("z", "3")
+	s.End()
+	attrs := tr.Spans()[0].Attrs
+	if len(attrs) != 2 || attrs[0].Key != "a" || attrs[1].Key != "z" || attrs[1].Value != "3" {
+		t.Fatalf("attrs = %v, want sorted a=2, z=3", attrs)
+	}
+}
+
+func TestDeriveTraceIDOccurrences(t *testing.T) {
+	if got := DeriveTraceID("abc", 1); got != "abc" {
+		t.Errorf("first occurrence = %q, want abc", got)
+	}
+	if got := DeriveTraceID("abc", 3); got != "abc.3" {
+		t.Errorf("third occurrence = %q, want abc.3", got)
+	}
+	var q Sequencer
+	if q.Next("k") != 1 || q.Next("k") != 2 || q.Next("other") != 1 {
+		t.Error("Sequencer must count per key")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context must carry no span")
+	}
+	tr := NewTrace("t")
+	s := tr.Root("r")
+	ctx := NewContext(context.Background(), s)
+	if FromContext(ctx) != s {
+		t.Fatal("context did not round-trip the span")
+	}
+}
+
+func TestValidID(t *testing.T) {
+	for _, ok := range []string{"abc", "a.b-c_d", "0123456789abcdef"} {
+		if !ValidID(ok) {
+			t.Errorf("ValidID(%q) = false, want true", ok)
+		}
+	}
+	for _, bad := range []string{"", "has space", "semi;colon", "new\nline", strings.Repeat("x", 129)} {
+		if ValidID(bad) {
+			t.Errorf("ValidID(%q) = true, want false", bad)
+		}
+	}
+}
+
+// TestCollectorSinkFlushPerTrace pins the incremental-export contract: a
+// trace's spans hit the sink the moment its last span ends, not at
+// process exit.
+func TestCollectorSinkFlushPerTrace(t *testing.T) {
+	var buf bytes.Buffer
+	col := NewCollector(&buf)
+	tr := col.TraceForSpec("deadbeef")
+	root := tr.Root("request")
+	child := root.Child("work")
+	child.End()
+	if buf.Len() != 0 {
+		t.Fatal("sink written before the trace completed")
+	}
+	root.End()
+	if buf.Len() == 0 {
+		t.Fatal("sink not written when the trace completed")
+	}
+	spans, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 || spans[0].Trace != "deadbeef" {
+		t.Fatalf("sink holds %v", spans)
+	}
+	if col.Err() != nil {
+		t.Fatal(col.Err())
+	}
+}
+
+// TestIdenticalPipelinesExportIdentically is the package-level half of
+// the determinism property: the same sequence of trace operations
+// yields byte-identical exports (modulo wall stamps, which this
+// pipeline never sets).
+func TestIdenticalPipelinesExportIdentically(t *testing.T) {
+	build := func() []byte {
+		col := NewCollector(nil)
+		tr := col.TraceForSpec("cafe")
+		root := tr.Root("request").SetAttr("endpoint", "trials")
+		q := root.Child("queue")
+		q.End()
+		trial := root.Child("trial").SetSeq(0, 100)
+		for i := 0; i < 3; i++ {
+			ph := trial.Child("phase/grouping").SetSeq(uint64(i*30), uint64(i*30+30))
+			ph.SetAttr("index", string(rune('1'+i)))
+			ph.End()
+		}
+		trial.End()
+		root.End()
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, col.Export()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two identical pipelines exported differently:\n%s\n%s", a, b)
+	}
+}

@@ -1,0 +1,45 @@
+package span
+
+// The sanctioned timing edge of the span package. Wall-clock reads are
+// confined to this file: the harness and serve layers (which are
+// allowed to time things) capture durations here and attach them to
+// spans through ActiveSpan.SetWall; every other file of this package is
+// held to the engine-package determinism standard by kpart-lint's
+// determinism analyzer. Growing wall-clock use beyond this file needs
+// the same review as adding a timing call to an engine.
+
+import (
+	"sync"
+	"time"
+)
+
+// epoch anchors all wall stamps of a process, so WallStartUS values in
+// one export share an origin and stay small.
+var (
+	epochOnce sync.Once
+	epoch     time.Time
+)
+
+func processEpoch() time.Time {
+	epochOnce.Do(func() { epoch = time.Now() })
+	return epoch
+}
+
+// WallNow returns microseconds since the process trace epoch. Only
+// harness/serve-edge code may call it; engine-scope code records
+// interaction counts (SetSeq) instead.
+func WallNow() uint64 {
+	return uint64(time.Since(processEpoch()).Microseconds())
+}
+
+// Stopwatch captures one wall interval for a span.
+type Stopwatch struct{ start uint64 }
+
+// StartWall begins a wall interval.
+func StartWall() Stopwatch { return Stopwatch{start: WallNow()} }
+
+// StopInto stamps the elapsed interval onto s (no-op on a nil span).
+func (w Stopwatch) StopInto(s *ActiveSpan) {
+	now := WallNow()
+	s.SetWall(w.start, now-w.start)
+}

@@ -84,3 +84,43 @@ func (c *Cache) Len() int {
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
+
+// flightGroup is the single-flight companion to the cache: it dedupes
+// identical SpecKeys between the moment a cache miss admits a job and
+// the moment that job completes. Concurrent requests for one key share
+// the first admitted job (the serve/coalesced counter tracks how often)
+// instead of each paying for the simulation. Content addressing makes
+// this safe: any job for a key produces byte-identical results.
+type flightGroup struct {
+	mu      sync.Mutex
+	pending map[string]*Job
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{pending: make(map[string]*Job)}
+}
+
+// join returns the in-flight job for key if one exists (joined=true);
+// otherwise it registers candidate as the key's in-flight job. The
+// check-and-register is atomic, so exactly one of N concurrent
+// submitters for a key becomes the owner.
+func (f *flightGroup) join(key string, candidate *Job) (j *Job, joined bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if prior, ok := f.pending[key]; ok {
+		return prior, true
+	}
+	f.pending[key] = candidate
+	return candidate, false
+}
+
+// leave removes j as key's in-flight job — on completion, or when
+// admission failed after join. Only the registered owner is removed, so
+// a stale leave can never evict a newer job.
+func (f *flightGroup) leave(key string, j *Job) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.pending[key] == j {
+		delete(f.pending, key)
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 )
 
 // Admission errors. The HTTP layer maps ErrQueueFull to 429 (with
@@ -40,10 +41,20 @@ const DefaultQueueDepth = 64
 var runTrialFn = harness.RunTrialCtx
 
 // Job is one admitted trial: submit it, then Wait for its outcome.
+// Completion is a broadcast (the done channel closes once the outcome
+// is stored), so any number of coalesced waiters can Wait on one job.
 type Job struct {
 	Spec harness.TrialSpec
 	Key  string
-	done chan outcome // buffered; the worker never blocks on delivery
+	done chan struct{} // closed after out is stored
+	out  outcome
+
+	// parent is the submitting request's span; the worker roots the
+	// trial's span subtree under it (nil = untraced). queueSpan covers
+	// admission to worker pickup.
+	parent    *span.ActiveSpan
+	queueSpan *span.ActiveSpan
+	queueWall span.Stopwatch
 
 	enqueued time.Time // set at admission, for the queue-wait histogram
 }
@@ -59,8 +70,8 @@ type outcome struct {
 // up.
 func (j *Job) Wait(ctx context.Context) (Record, []byte, error) {
 	select {
-	case out := <-j.done:
-		return out.rec, out.body, out.err
+	case <-j.done:
+		return j.out.rec, j.out.body, j.out.err
 	case <-ctx.Done():
 		return Record{}, nil, ctx.Err()
 	}
@@ -75,6 +86,7 @@ type Pool struct {
 	opts    harness.RunOptions
 	journal *harness.Journal
 	cache   *Cache
+	flight  *flightGroup
 	workers int
 
 	mu     sync.RWMutex // guards closed vs. sends on queue
@@ -92,6 +104,7 @@ type Pool struct {
 	evictions   obs.Counter
 	admitted    obs.Counter
 	rejected    obs.Counter
+	coalesced   obs.Counter
 	trialsRun   obs.Counter
 	trialErrors obs.Counter
 	journalErrs obs.Counter
@@ -125,7 +138,8 @@ func NewPool(workers, queueDepth int, opts harness.RunOptions, journal *harness.
 	p := &Pool{
 		ctx: ctx, cancel: cancel,
 		opts: opts, journal: journal, cache: cache, workers: workers,
-		queue: make(chan *Job, queueDepth),
+		flight: newFlightGroup(),
+		queue:  make(chan *Job, queueDepth),
 
 		cacheHits:   reg.Counter("serve/cache_hits"),
 		journalHits: reg.Counter("serve/journal_hits"),
@@ -133,6 +147,7 @@ func NewPool(workers, queueDepth int, opts harness.RunOptions, journal *harness.
 		evictions:   reg.Counter("serve/cache_evictions"),
 		admitted:    reg.Counter("serve/admitted"),
 		rejected:    reg.Counter("serve/rejected"),
+		coalesced:   reg.Counter("serve/coalesced"),
 		trialsRun:   reg.Counter("serve/trials_run"),
 		trialErrors: reg.Counter("serve/trial_errors"),
 		journalErrs: reg.Counter("serve/journal_errors"),
@@ -170,24 +185,48 @@ func (p *Pool) Lookup(key string) (body []byte, source string, ok bool) {
 	return nil, "", false
 }
 
-// newJob wraps spec for submission.
-func newJob(spec harness.TrialSpec) *Job {
-	return &Job{
+// newJob wraps spec for submission. parent (nil = untraced) becomes the
+// root of the job's span subtree; the queue span starts here so it
+// covers the full admission-to-pickup wait, and it must exist before
+// the job is visible to a worker.
+func newJob(spec harness.TrialSpec, parent *span.ActiveSpan) *Job {
+	j := &Job{
 		Spec:     spec,
 		Key:      harness.SpecKey(spec),
-		done:     make(chan outcome, 1),
+		done:     make(chan struct{}),
+		parent:   parent,
 		enqueued: time.Now(),
 	}
+	j.queueSpan = parent.Child("queue")
+	j.queueWall = span.StartWall()
+	return j
+}
+
+// abandonQueue ends the queue span of a job that never reached a
+// worker (rejected, drained, or cancelled at admission).
+func (j *Job) abandonQueue(outcome string) {
+	j.queueWall.StopInto(j.queueSpan)
+	j.queueSpan.SetAttr("outcome", outcome).End()
 }
 
 // TrySubmit admits spec without blocking: ErrQueueFull when the
-// admission queue is at capacity, ErrDraining after Close.
-func (p *Pool) TrySubmit(spec harness.TrialSpec) (*Job, error) {
-	j := newJob(spec)
+// admission queue is at capacity, ErrDraining after Close. An identical
+// spec already in flight is coalesced — the existing job is returned
+// and no new work enters the queue. parent (nil = untraced) roots the
+// job's span subtree.
+func (p *Pool) TrySubmit(spec harness.TrialSpec, parent *span.ActiveSpan) (*Job, error) {
+	j := newJob(spec, parent)
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {
+		j.abandonQueue("draining")
 		return nil, ErrDraining
+	}
+	if prior, joined := p.flight.join(j.Key, j); joined {
+		p.coalesced.Inc()
+		j.abandonQueue("coalesced")
+		parent.SetAttr("coalesced", "true")
+		return prior, nil
 	}
 	select {
 	case p.queue <- j:
@@ -195,20 +234,30 @@ func (p *Pool) TrySubmit(spec harness.TrialSpec) (*Job, error) {
 		p.depthGauge.Add(1)
 		return j, nil
 	default:
+		p.flight.leave(j.Key, j)
 		p.rejected.Inc()
+		j.abandonQueue("rejected")
 		return nil, ErrQueueFull
 	}
 }
 
 // Submit admits spec, blocking until queue space frees up, ctx fires, or
 // the pool drains. Sweeps use it so a long point applies backpressure to
-// its own connection instead of failing mid-stream.
-func (p *Pool) Submit(ctx context.Context, spec harness.TrialSpec) (*Job, error) {
-	j := newJob(spec)
+// its own connection instead of failing mid-stream. In-flight identical
+// specs coalesce exactly as in TrySubmit.
+func (p *Pool) Submit(ctx context.Context, spec harness.TrialSpec, parent *span.ActiveSpan) (*Job, error) {
+	j := newJob(spec, parent)
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {
+		j.abandonQueue("draining")
 		return nil, ErrDraining
+	}
+	if prior, joined := p.flight.join(j.Key, j); joined {
+		p.coalesced.Inc()
+		j.abandonQueue("coalesced")
+		parent.SetAttr("coalesced", "true")
+		return prior, nil
 	}
 	// Close cancels p.ctx before closing the queue channel, so a sender
 	// blocked here always exits via ErrDraining rather than racing the
@@ -219,8 +268,12 @@ func (p *Pool) Submit(ctx context.Context, spec harness.TrialSpec) (*Job, error)
 		p.depthGauge.Add(1)
 		return j, nil
 	case <-ctx.Done():
+		p.flight.leave(j.Key, j)
+		j.abandonQueue("cancelled")
 		return nil, ctx.Err()
 	case <-p.ctx.Done():
+		p.flight.leave(j.Key, j)
+		j.abandonQueue("draining")
 		return nil, ErrDraining
 	}
 }
@@ -230,7 +283,17 @@ func (p *Pool) worker() {
 	for j := range p.queue {
 		p.depthGauge.Add(-1)
 		p.queueWaitUS.Observe(uint64(time.Since(j.enqueued).Microseconds()))
-		j.done <- p.execute(j)
+		j.queueWall.StopInto(j.queueSpan)
+		j.queueSpan.End()
+		out := p.execute(j)
+		// Store-then-close is the broadcast: every Wait (including
+		// coalesced waiters that joined later) observes out after done.
+		// Leaving the flight group first keeps the window where a new
+		// submitter could join a finished job closed — post-completion
+		// submissions start fresh and hit the cache instead.
+		p.flight.leave(j.Key, j)
+		j.out = out
+		close(j.done)
 	}
 }
 
@@ -251,8 +314,14 @@ func (p *Pool) execute(j *Job) outcome {
 		p.inflight.Add(-1)
 		p.inflightG.Add(-1)
 	}()
+	ctx := p.ctx
+	if j.parent != nil {
+		// The worker roots the harness's trial/attempt/engine spans
+		// under the submitting request's span.
+		ctx = span.NewContext(ctx, j.parent)
+	}
 	start := time.Now()
-	res, err := runTrialFn(p.ctx, j.Spec, p.opts)
+	res, err := runTrialFn(ctx, j.Spec, p.opts)
 	wall := time.Since(start)
 	if err != nil {
 		p.trialErrors.Inc()

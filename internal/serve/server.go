@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 )
 
 // Config assembles a Server. The zero value is usable: GOMAXPROCS
@@ -34,6 +35,9 @@ type Config struct {
 	Journal *harness.Journal
 	// Registry records per-endpoint and pool metrics; nil disables.
 	Registry *obs.Registry
+	// Spans collects request span trees (see internal/obs/span); nil
+	// disables tracing entirely.
+	Spans *span.Collector
 	// RunOptions is the per-trial execution policy (timeout, retries).
 	// Journal and Progress are ignored; the pool journals itself.
 	RunOptions harness.RunOptions
@@ -50,6 +54,7 @@ type Server struct {
 	pool           *Pool
 	journal        *harness.Journal
 	reg            *obs.Registry
+	spans          *span.Collector
 	mux            *http.ServeMux
 	retryAfter     time.Duration
 	maxSweepTrials int
@@ -64,6 +69,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		journal:        cfg.Journal,
 		reg:            reg,
+		spans:          cfg.Spans,
 		mux:            http.NewServeMux(),
 		retryAfter:     cfg.RetryAfter,
 		maxSweepTrials: cfg.MaxSweepTrials,
@@ -76,6 +82,7 @@ func New(cfg Config) *Server {
 	s.mux.Handle("POST /v1/sweeps", s.instrument("sweeps", s.handleSweep))
 	s.mux.Handle("GET /v1/results/{speckey}", s.instrument("results", s.handleResult))
 	s.mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.Handle("GET /metrics", reg.PrometheusHandler())
 	return s
 }
 
@@ -160,6 +167,34 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 // came from: "miss" (freshly computed), "lru", or "journal".
 const cacheHeader = "X-Kpart-Cache"
 
+// startRequestSpan roots a request span for the trial identified by
+// key. The trace ID is the client's X-Kpart-Trace value when present
+// and valid, else the canonical spec-derived ID; either way the
+// response echoes the ID the trace was recorded under. With no
+// collector configured, the returned span is nil and the whole
+// downstream pipeline stays untraced. The returned finish func ends
+// the span with the request's wall interval; call it exactly once.
+func (s *Server) startRequestSpan(w http.ResponseWriter, r *http.Request, endpoint, key string) (*span.ActiveSpan, func()) {
+	if s.spans == nil {
+		return nil, func() {}
+	}
+	var tr *span.Trace
+	if id := r.Header.Get(span.Header); id != "" && span.ValidID(id) {
+		tr = s.spans.NewTrace(id)
+	} else {
+		tr = s.spans.TraceForSpec(key)
+	}
+	w.Header().Set(span.Header, tr.ID())
+	root := tr.Root("request").
+		SetAttr("endpoint", endpoint).
+		SetAttr("speckey", key)
+	sw := span.StartWall()
+	return root, func() {
+		sw.StopInto(root)
+		root.End()
+	}
+}
+
 // handleTrial: POST /v1/trials. Validate before admission; serve from
 // the content-addressed store when possible; otherwise admit without
 // blocking — a full queue is the client's backpressure signal.
@@ -175,20 +210,26 @@ func (s *Server) handleTrial(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := harness.SpecKey(spec)
+	root, finish := s.startRequestSpan(w, r, "trials", key)
+	defer finish()
 	if body, src, ok := s.pool.Lookup(key); ok {
+		root.SetAttr("cache", src)
 		writeRecord(w, src, body)
 		return
 	}
-	job, err := s.pool.TrySubmit(spec)
+	job, err := s.pool.TrySubmit(spec, root)
 	if err != nil {
+		root.SetAttr("outcome", "rejected")
 		s.writeAdmissionError(w, err)
 		return
 	}
 	_, body, err := job.Wait(r.Context())
 	if err != nil {
+		root.SetAttr("outcome", "error")
 		s.writeTrialError(w, err)
 		return
 	}
+	root.SetAttr("cache", "miss")
 	writeRecord(w, "miss", body)
 }
 
@@ -246,7 +287,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				slots[i] <- slot{rec: rec, body: body}
 				continue
 			}
-			job, err := s.pool.Submit(r.Context(), spec)
+			job, err := s.pool.Submit(r.Context(), spec, nil)
 			if err != nil {
 				slots[i] <- slot{err: err}
 				continue

@@ -418,18 +418,18 @@ func TestPoolSubmitBlockedExitsOnClose(t *testing.T) {
 
 	p := NewPool(1, 1, harness.RunOptions{}, nil, nil, nil)
 	spec := harness.TrialSpec{N: 12, K: 3, Seed: 1}
-	if _, err := p.TrySubmit(spec); err != nil {
+	if _, err := p.TrySubmit(spec, nil); err != nil {
 		t.Fatalf("first submit: %v", err)
 	}
 	spec2 := spec
 	spec2.Seed = 2
 	waitFor(t, func() bool { return p.Inflight() == 1 })
-	if _, err := p.TrySubmit(spec2); err != nil {
+	if _, err := p.TrySubmit(spec2, nil); err != nil {
 		t.Fatalf("second submit (queue slot): %v", err)
 	}
 	spec3 := spec
 	spec3.Seed = 3
-	if _, err := p.TrySubmit(spec3); !errors.Is(err, ErrQueueFull) {
+	if _, err := p.TrySubmit(spec3, nil); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("third submit: %v, want ErrQueueFull", err)
 	}
 
@@ -438,7 +438,7 @@ func TestPoolSubmitBlockedExitsOnClose(t *testing.T) {
 	// channel.
 	errc := make(chan error, 1)
 	go func() {
-		_, err := p.Submit(context.Background(), spec3)
+		_, err := p.Submit(context.Background(), spec3, nil)
 		errc <- err
 	}()
 	waitFor(t, func() bool { return p.Depth() == 1 }) // still parked
