@@ -17,9 +17,11 @@ import (
 
 // Collector owns the traces a process records. Traces registered
 // through NewTrace deliver themselves when their last open span ends;
-// with a sink attached, each completed trace is encoded and flushed as
-// one JSONL block at that moment (so a long-lived server exports
-// incrementally), and every trace also stays available to Export.
+// with a sink attached, a completed trace's not-yet-streamed spans are
+// encoded and flushed as one JSONL block at that moment (so a
+// long-lived server exports incrementally, and a trace that reopens —
+// late spans after a transient zero — delivers only its new spans),
+// and every trace also stays available to Export.
 // A nil *Collector is a valid no-op: NewTrace returns nil, and the
 // nil-span plumbing makes the entire pipeline untraced.
 type Collector struct {
@@ -54,20 +56,37 @@ func (c *Collector) NewTrace(id string) *Trace {
 // spec's content hash plus this collector's per-process occurrence
 // sequence (see DeriveTraceID).
 func (c *Collector) TraceForSpec(specKey string) *Trace {
+	return c.TraceForID(specKey)
+}
+
+// TraceForID starts a collected trace under a caller-supplied base ID
+// (e.g. a client's X-Kpart-Trace header), run through the same
+// occurrence sequence as spec-derived IDs: the second use of one ID in
+// a process yields "id.2", so repeated or concurrent requests naming
+// the same ID get distinct traces instead of colliding root span IDs
+// inside one merged trace.
+func (c *Collector) TraceForID(id string) *Trace {
 	if c == nil {
 		return nil
 	}
-	return c.NewTrace(DeriveTraceID(specKey, c.seq.Next(specKey)))
+	return c.NewTrace(DeriveTraceID(id, c.seq.Next(id)))
 }
 
-// deliver streams one completed trace to the sink.
+// deliver streams a completed trace's spans to the sink. The hook can
+// fire more than once per trace (the open count may transiently reach
+// zero mid-pipeline), so delivery takes only the spans not streamed
+// yet — each span is written exactly once.
 func (c *Collector) deliver(t *Trace) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.sink == nil || c.err != nil {
 		return
 	}
-	if err := WriteJSONL(c.sink, t.Spans()); err != nil {
+	spans := t.takeUndelivered()
+	if len(spans) == 0 {
+		return
+	}
+	if err := WriteJSONL(c.sink, spans); err != nil {
 		c.err = err
 	}
 }

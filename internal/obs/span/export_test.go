@@ -8,11 +8,11 @@ import (
 
 func sampleSpans() []Span {
 	return []Span{
-		{Trace: "t1", ID: "0001", Name: "request", WallStartUS: 10, WallDurUS: 100},
-		{Trace: "t1", ID: "0002", Parent: "0001", Name: "queue", WallStartUS: 11, WallDurUS: 5},
-		{Trace: "t1", ID: "0003", Parent: "0001", Name: "trial", WallStartUS: 16, WallDurUS: 90},
-		{Trace: "t1", ID: "0004", Parent: "0003", Name: "phase/grouping", StartSeq: 0, EndSeq: 40},
-		{Trace: "t1", ID: "0005", Parent: "0003", Name: "phase/grouping", StartSeq: 40, EndSeq: 90},
+		{Trace: "t1", ID: "00000001", Name: "request", WallStartUS: 10, WallDurUS: 100},
+		{Trace: "t1", ID: "00000002", Parent: "00000001", Name: "queue", WallStartUS: 11, WallDurUS: 5},
+		{Trace: "t1", ID: "00000003", Parent: "00000001", Name: "trial", WallStartUS: 16, WallDurUS: 90},
+		{Trace: "t1", ID: "00000004", Parent: "00000003", Name: "phase/grouping", StartSeq: 0, EndSeq: 40},
+		{Trace: "t1", ID: "00000005", Parent: "00000003", Name: "phase/grouping", StartSeq: 40, EndSeq: 90},
 	}
 }
 
@@ -82,13 +82,13 @@ func TestBuildTreesAndCriticalPath(t *testing.T) {
 		t.Fatalf("critical path %v, want %q", names, want)
 	}
 	// The chosen phase span is the costlier one (seq delta 50 vs 40).
-	if last := path[len(path)-1].Span; last.ID != "0005" {
-		t.Fatalf("critical path leaf %s, want 0005", last.ID)
+	if last := path[len(path)-1].Span; last.ID != "00000005" {
+		t.Fatalf("critical path leaf %s, want 00000005", last.ID)
 	}
 }
 
 func TestBuildTreesOrphanBecomesRoot(t *testing.T) {
-	trees := BuildTrees([]Span{{Trace: "t", ID: "0002", Parent: "0001", Name: "orphan"}})
+	trees := BuildTrees([]Span{{Trace: "t", ID: "00000002", Parent: "00000001", Name: "orphan"}})
 	if len(trees) != 1 || len(trees[0].Roots) != 1 {
 		t.Fatalf("orphan span must render as a root: %+v", trees)
 	}

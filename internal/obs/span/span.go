@@ -70,6 +70,7 @@ type Trace struct {
 	mu       sync.Mutex
 	seq      int
 	finished []Span
+	streamed int // prefix of finished already written to a sink
 	open     int
 	onDone   func(*Trace)
 }
@@ -100,7 +101,9 @@ func (t *Trace) start(name, parent string) *ActiveSpan {
 	}
 	t.mu.Lock()
 	t.seq++
-	id := fmt.Sprintf("%04x", t.seq)
+	// Fixed-width IDs keep lexicographic order equal to start order;
+	// eight hex digits hold any trace a process could physically record.
+	id := fmt.Sprintf("%08x", t.seq)
 	t.open++
 	t.mu.Unlock()
 	return &ActiveSpan{
@@ -109,8 +112,11 @@ func (t *Trace) start(name, parent string) *ActiveSpan {
 	}
 }
 
-// finish records a completed span; when the last open span of the trace
-// ends, the completion hook (Collector delivery) fires.
+// finish records a completed span; whenever the open-span count reaches
+// zero, the completion hook (Collector delivery) fires. Note that zero
+// can be reached more than once — e.g. a request root ends while the
+// job is still queued, and the worker's spans reopen the trace later —
+// so the hook must tolerate repeated firing (see takeUndelivered).
 func (t *Trace) finish(s Span) {
 	t.mu.Lock()
 	t.finished = append(t.finished, s)
@@ -132,6 +138,20 @@ func (t *Trace) Spans() []Span {
 	}
 	t.mu.Lock()
 	out := append([]Span(nil), t.finished...)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// takeUndelivered returns the finished spans a sink has not streamed
+// yet, sorted by span ID among themselves, and marks them streamed.
+// This is the delivery latch: the completion hook can fire every time
+// the trace's open count transiently reaches zero, and the latch keeps
+// each span from being written to the sink more than once.
+func (t *Trace) takeUndelivered() []Span {
+	t.mu.Lock()
+	out := append([]Span(nil), t.finished[t.streamed:]...)
+	t.streamed = len(t.finished)
 	t.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out

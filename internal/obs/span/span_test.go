@@ -20,11 +20,29 @@ func TestSpanIDsFollowStartOrder(t *testing.T) {
 		t.Fatalf("got %d spans, want 3", len(spans))
 	}
 	// IDs are assigned in start order: request, queue, trial.
-	wantNames := map[string]string{"0001": "request", "0002": "queue", "0003": "trial"}
+	wantNames := map[string]string{"00000001": "request", "00000002": "queue", "00000003": "trial"}
 	for _, s := range spans {
 		if wantNames[s.ID] != s.Name {
 			t.Errorf("span %s has name %q, want %q", s.ID, s.Name, wantNames[s.ID])
 		}
+	}
+}
+
+// TestSpanIDOrderSurvivesManySpans pins the fixed-width invariant: span
+// IDs must sort lexicographically in start order even past the 4-hex
+// boundary (0xffff → 0x10000) where a narrower format would wrap.
+func TestSpanIDOrderSurvivesManySpans(t *testing.T) {
+	tr := NewTrace("t")
+	tr.seq = 0xffff - 1 // jump near the old-format boundary
+	var prev string
+	for i := 0; i < 3; i++ {
+		s := tr.Root("r")
+		if id := s.ID(); prev != "" && !(prev < id) {
+			t.Fatalf("span ID %q does not sort after predecessor %q", id, prev)
+		} else {
+			prev = id
+		}
+		s.End()
 	}
 }
 
@@ -79,6 +97,23 @@ func TestDeriveTraceIDOccurrences(t *testing.T) {
 	}
 }
 
+// TestTraceForIDSequencesRepeats pins the client-header path: a
+// repeated caller-supplied ID must come out occurrence-suffixed, never
+// as two traces sharing one ID (which would collide their root span IDs
+// at export).
+func TestTraceForIDSequencesRepeats(t *testing.T) {
+	col := NewCollector(nil)
+	if got := col.TraceForID("shared").ID(); got != "shared" {
+		t.Errorf("first use = %q, want shared", got)
+	}
+	if got := col.TraceForID("shared").ID(); got != "shared.2" {
+		t.Errorf("second use = %q, want shared.2", got)
+	}
+	if got := col.TraceForSpec("shared").ID(); got != "shared.3" {
+		t.Errorf("spec sharing the namespace = %q, want shared.3", got)
+	}
+}
+
 func TestContextRoundTrip(t *testing.T) {
 	if FromContext(context.Background()) != nil {
 		t.Fatal("empty context must carry no span")
@@ -127,6 +162,49 @@ func TestCollectorSinkFlushPerTrace(t *testing.T) {
 	}
 	if len(spans) != 2 || spans[0].Trace != "deadbeef" {
 		t.Fatalf("sink holds %v", spans)
+	}
+	if col.Err() != nil {
+		t.Fatal(col.Err())
+	}
+}
+
+// TestCollectorDeliversEachSpanOnce pins the delivery latch: a trace
+// whose open count transiently reaches zero (the request root ended
+// while the job was still queued) delivers twice, but the second
+// delivery streams only the spans that finished since — no span may
+// reach the sink more than once.
+func TestCollectorDeliversEachSpanOnce(t *testing.T) {
+	var buf bytes.Buffer
+	col := NewCollector(&buf)
+	tr := col.TraceForSpec("feedbeef")
+	root := tr.Root("request")
+	q := root.Child("queue")
+	root.End() // client gave up while the job sat in the queue
+	q.End()    // open hits zero: first delivery (request, queue)
+	first, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 2 {
+		t.Fatalf("first delivery streamed %d spans, want 2", len(first))
+	}
+	trial := root.Child("trial") // the worker reopens the trace
+	ph := trial.Child("phase/grouping")
+	ph.End()
+	trial.End() // open hits zero again: second delivery
+	all, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("sink holds %d spans, want 4 (each exactly once): %+v", len(all), all)
+	}
+	seen := make(map[string]bool)
+	for _, s := range all {
+		if seen[s.ID] {
+			t.Fatalf("span %s delivered twice", s.ID)
+		}
+		seen[s.ID] = true
 	}
 	if col.Err() != nil {
 		t.Fatal(col.Err())

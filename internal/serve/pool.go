@@ -203,10 +203,22 @@ func newJob(spec harness.TrialSpec, parent *span.ActiveSpan) *Job {
 }
 
 // abandonQueue ends the queue span of a job that never reached a
-// worker (rejected, drained, or cancelled at admission).
-func (j *Job) abandonQueue(outcome string) {
+// worker (rejected, drained, cancelled, or coalesced at admission).
+func (j *Job) abandonQueue(reason string) {
 	j.queueWall.StopInto(j.queueSpan)
-	j.queueSpan.SetAttr("outcome", outcome).End()
+	j.queueSpan.SetAttr("outcome", reason).End()
+}
+
+// failAdmission completes a job that was turned away at admission: the
+// queue span ends and err is stored and broadcast through done. This
+// must run on every abandon path, because between flight.join and
+// flight.leave a concurrent submitter may have coalesced onto this job
+// — closing done with the admission error is what lets that waiter
+// fail fast instead of blocking forever on a job no worker will run.
+func (j *Job) failAdmission(reason string, err error) {
+	j.abandonQueue(reason)
+	j.out = outcome{err: err}
+	close(j.done)
 }
 
 // TrySubmit admits spec without blocking: ErrQueueFull when the
@@ -219,7 +231,7 @@ func (p *Pool) TrySubmit(spec harness.TrialSpec, parent *span.ActiveSpan) (*Job,
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {
-		j.abandonQueue("draining")
+		j.failAdmission("draining", ErrDraining)
 		return nil, ErrDraining
 	}
 	if prior, joined := p.flight.join(j.Key, j); joined {
@@ -236,7 +248,7 @@ func (p *Pool) TrySubmit(spec harness.TrialSpec, parent *span.ActiveSpan) (*Job,
 	default:
 		p.flight.leave(j.Key, j)
 		p.rejected.Inc()
-		j.abandonQueue("rejected")
+		j.failAdmission("rejected", ErrQueueFull)
 		return nil, ErrQueueFull
 	}
 }
@@ -250,7 +262,7 @@ func (p *Pool) Submit(ctx context.Context, spec harness.TrialSpec, parent *span.
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {
-		j.abandonQueue("draining")
+		j.failAdmission("draining", ErrDraining)
 		return nil, ErrDraining
 	}
 	if prior, joined := p.flight.join(j.Key, j); joined {
@@ -269,11 +281,11 @@ func (p *Pool) Submit(ctx context.Context, spec harness.TrialSpec, parent *span.
 		return j, nil
 	case <-ctx.Done():
 		p.flight.leave(j.Key, j)
-		j.abandonQueue("cancelled")
+		j.failAdmission("cancelled", ctx.Err())
 		return nil, ctx.Err()
 	case <-p.ctx.Done():
 		p.flight.leave(j.Key, j)
-		j.abandonQueue("draining")
+		j.failAdmission("draining", ErrDraining)
 		return nil, ErrDraining
 	}
 }

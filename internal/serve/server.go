@@ -169,18 +169,20 @@ const cacheHeader = "X-Kpart-Cache"
 
 // startRequestSpan roots a request span for the trial identified by
 // key. The trace ID is the client's X-Kpart-Trace value when present
-// and valid, else the canonical spec-derived ID; either way the
-// response echoes the ID the trace was recorded under. With no
-// collector configured, the returned span is nil and the whole
-// downstream pipeline stays untraced. The returned finish func ends
-// the span with the request's wall interval; call it exactly once.
+// and valid, else the canonical spec-derived ID; both go through the
+// collector's occurrence sequencer (a repeated ID becomes "id.2", so
+// two requests never share one trace), and the response echoes the ID
+// the trace was actually recorded under. With no collector configured,
+// the returned span is nil and the whole downstream pipeline stays
+// untraced. The returned finish func ends the span with the request's
+// wall interval; call it exactly once.
 func (s *Server) startRequestSpan(w http.ResponseWriter, r *http.Request, endpoint, key string) (*span.ActiveSpan, func()) {
 	if s.spans == nil {
 		return nil, func() {}
 	}
 	var tr *span.Trace
 	if id := r.Header.Get(span.Header); id != "" && span.ValidID(id) {
-		tr = s.spans.NewTrace(id)
+		tr = s.spans.TraceForID(id)
 	} else {
 		tr = s.spans.TraceForSpec(key)
 	}

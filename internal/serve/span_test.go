@@ -8,11 +8,13 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/harness"
 	"repro/internal/obs"
@@ -127,6 +129,35 @@ func TestTraceDerivedID(t *testing.T) {
 	exportWhenDone(t, col, 7) // both traces complete
 }
 
+// TestRepeatedClientTraceIDsDoNotCollide pins the header path through
+// the occurrence sequencer: two requests naming the same X-Kpart-Trace
+// value must record under distinct trace IDs ("id", "id.2") — one
+// merged trace would collide the two root span IDs and corrupt the
+// reconstructed tree.
+func TestRepeatedClientTraceIDsDoNotCollide(t *testing.T) {
+	ts, col, stop := tracedServer(t)
+	defer stop()
+
+	r1 := postTrial(t, ts, `{"n":12,"k":3,"seed":1}`, "shared-id")
+	r2 := postTrial(t, ts, `{"n":12,"k":3,"seed":2}`, "shared-id")
+	if got := r1.Header.Get(span.Header); got != "shared-id" {
+		t.Fatalf("first response %s = %q, want shared-id", span.Header, got)
+	}
+	if got := r2.Header.Get(span.Header); got != "shared-id.2" {
+		t.Fatalf("second response %s = %q, want shared-id.2", span.Header, got)
+	}
+	spans := exportWhenDone(t, col, 12) // two full pipelines
+	roots := make(map[string]int)
+	for _, s := range spans {
+		if s.Name == "request" {
+			roots[s.Trace]++
+		}
+	}
+	if roots["shared-id"] != 1 || roots["shared-id.2"] != 1 {
+		t.Fatalf("request roots per trace = %v, want exactly one under each ID", roots)
+	}
+}
+
 // TestTraceIdentityStableAcrossRuns boots two independent servers and
 // posts the same spec to each: the exported span identity (everything
 // but the wall stamps) must match field for field.
@@ -233,6 +264,74 @@ func TestSingleFlightCoalescing(t *testing.T) {
 		defer p.flight.mu.Unlock()
 		return len(p.flight.pending) == 0
 	})
+}
+
+// TestCoalescedWaiterNotStrandedOnAbandon pins the admission-failure
+// broadcast: a request that coalesces onto a job whose admission is
+// then abandoned (here, a blocking Submit whose client disconnects
+// while it waits for queue space) must observe the admission error
+// promptly — before the fix, the abandoned job's done channel never
+// closed and the coalesced waiter blocked forever.
+func TestCoalescedWaiterNotStrandedOnAbandon(t *testing.T) {
+	release := make(chan struct{})
+	old := runTrialFn
+	runTrialFn = func(ctx context.Context, spec harness.TrialSpec, _ harness.RunOptions) (harness.TrialResult, error) {
+		select {
+		case <-release:
+			return harness.TrialResult{Spec: spec, Converged: true}, nil
+		case <-ctx.Done():
+			return harness.TrialResult{}, ctx.Err()
+		}
+	}
+	defer func() { runTrialFn = old }()
+
+	p := NewPool(1, 1, harness.RunOptions{}, nil, nil, nil)
+	defer func() {
+		close(release)
+		p.Close()
+	}()
+
+	// Occupy the single worker and fill the one-slot queue so the next
+	// blocking Submit parks in the queue send.
+	if _, err := p.TrySubmit(harness.TrialSpec{N: 12, K: 3, Seed: 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return p.Inflight() == 1 })
+	if _, err := p.TrySubmit(harness.TrialSpec{N: 12, K: 3, Seed: 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	blocked := harness.TrialSpec{N: 12, K: 3, Seed: 3}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := p.Submit(ctx, blocked, nil)
+		errc <- err
+	}()
+
+	// Once the Submit owns the flight entry it is parked in the queue
+	// send; a TrySubmit for the same spec coalesces onto its job.
+	key := harness.SpecKey(blocked)
+	waitFor(t, func() bool {
+		p.flight.mu.Lock()
+		defer p.flight.mu.Unlock()
+		return p.flight.pending[key] != nil
+	})
+	j, err := p.TrySubmit(blocked, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cancel() // the submitting client disconnects
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Submit returned %v, want context.Canceled", err)
+	}
+	waitCtx, waitCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer waitCancel()
+	if _, _, werr := j.Wait(waitCtx); !errors.Is(werr, context.Canceled) {
+		t.Fatalf("coalesced waiter got %v, want the admission error context.Canceled", werr)
+	}
 }
 
 // TestMetricsEndpoint checks the server's own GET /metrics renders the
