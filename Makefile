@@ -41,13 +41,16 @@ test:
 # Race pass over the concurrency-bearing packages: the obs metrics core
 # (atomic counters shared across workers), the parallel trial harness
 # (whose journal is appended from every worker), the checkpoint layer,
-# the two engines the trials drive, and the HTTP serving layer (worker
-# pool + admission queue + shared LRU). -short skips the minutes-long
-# statistical soaks (they run race-free under `test`); the concurrency
-# surface is fully covered either way.
+# the engines the trials drive (countsim includes the batched engine and
+# its seed-stability trajectory test; rng the samplers it draws from),
+# and the HTTP serving layer (worker pool + admission queue + shared
+# LRU). -short skips the minutes-long statistical soaks (they run
+# race-free under `test`); the concurrency surface is fully covered
+# either way.
 race:
 	$(GO) test -race -short ./internal/obs ./internal/obs/span ./internal/harness \
-		./internal/sim ./internal/checkpoint ./internal/countsim ./internal/serve
+		./internal/sim ./internal/checkpoint ./internal/countsim ./internal/rng \
+		./internal/serve
 
 # Short exploratory pass over every fuzz target (the plain corpora run
 # under `test`); a real campaign raises -fuzztime.
@@ -56,6 +59,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzRestore -fuzztime=5s ./internal/checkpoint
 	$(GO) test -run='^$$' -fuzz=FuzzSuppression -fuzztime=5s ./internal/lint
 	$(GO) test -run='^$$' -fuzz=FuzzReadJSONL -fuzztime=5s ./internal/obs/span
+	$(GO) test -run='^$$' -fuzz=FuzzBatchApply -fuzztime=5s ./internal/countsim
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$
@@ -75,17 +79,21 @@ serve-smoke:
 serve-bench-json:
 	$(GO) run ./cmd/kpart-serve-bench -out BENCH_serve.json
 
-# Regression gate: run the serve benchmark fresh and diff it against the
-# committed BENCH_serve.json baseline (throughput-class metrics gate at
-# 20%, latency-class at 75% — internal/benchdiff holds the policy).
-# `bench-diff` fails the build on a regression; `bench-diff-report` (the
-# `check` flavor) prints the same comparison without failing, so tier-1
-# stays green on noisy hardware.
+# Regression gate: run both benchmark suites fresh and diff them against
+# the committed BENCH_serve.json / BENCH_kpart.json baselines
+# (throughput-class metrics gate at 20%, latency-class at 75% —
+# internal/benchdiff holds the policy). The kpart suite includes the
+# batched-engine points, so a sampler regression that slows the n=10⁸
+# headline shows up here. `bench-diff` fails the build on a regression;
+# `bench-diff-report` (the `check` flavor) prints the same comparison
+# without failing, so tier-1 stays green on noisy hardware.
 BENCH_DIFF_FLAGS ?=
 bench-diff:
 	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
 	$(GO) run ./cmd/kpart-serve-bench -out "$$tmp/BENCH_serve.json" >/dev/null && \
-	$(GO) run ./cmd/kpart-bench-diff $(BENCH_DIFF_FLAGS) BENCH_serve.json "$$tmp/BENCH_serve.json"
+	$(GO) run ./cmd/kpart-bench-diff $(BENCH_DIFF_FLAGS) BENCH_serve.json "$$tmp/BENCH_serve.json" && \
+	$(GO) run ./cmd/kpart-bench -out "$$tmp/BENCH_kpart.json" >/dev/null && \
+	$(GO) run ./cmd/kpart-bench-diff $(BENCH_DIFF_FLAGS) BENCH_kpart.json "$$tmp/BENCH_kpart.json"
 
 bench-diff-report:
 	@$(MAKE) --no-print-directory bench-diff BENCH_DIFF_FLAGS=-report-only

@@ -122,20 +122,27 @@ func main() {
 
 	// Representative points: one per benchmark family in bench_test.go,
 	// kept small enough that the suite finishes in well under a minute.
+	// The scale-batch point is the headline of the batched engine: a
+	// hundred-million-agent population to stability in about a second; its
+	// interaction budget must be explicit because ~5·10¹⁶ interactions
+	// dwarf the harness default cap.
 	suite := []struct {
-		name   string
-		n, k   int
-		engine harness.Engine
+		name            string
+		n, k            int
+		engine          harness.Engine
+		maxInteractions uint64
 	}{
-		{"fig3/k=4/n=24", 24, 4, harness.EngineAgent},
-		{"fig3/k=6/n=36", 36, 6, harness.EngineAgent},
-		{"fig5/k=4/n=120", 120, 4, harness.EngineAgent},
-		{"fig6/k=8/n=960", 960, 8, harness.EngineAgent},
-		{"fig6-count/k=8/n=960", 960, 8, harness.EngineCount},
-		{"fig6-count/k=12/n=960", 960, 12, harness.EngineCount},
+		{"fig3/k=4/n=24", 24, 4, harness.EngineAgent, 0},
+		{"fig3/k=6/n=36", 36, 6, harness.EngineAgent, 0},
+		{"fig5/k=4/n=120", 120, 4, harness.EngineAgent, 0},
+		{"fig6/k=8/n=960", 960, 8, harness.EngineAgent, 0},
+		{"fig6-count/k=8/n=960", 960, 8, harness.EngineCount, 0},
+		{"fig6-count/k=12/n=960", 960, 12, harness.EngineCount, 0},
+		{"fig6-batch/k=8/n=960", 960, 8, harness.EngineBatch, 0},
+		{"scale-batch/k=8/n=1e8", 100_000_000, 8, harness.EngineBatch, 1 << 62},
 	}
 	for _, s := range suite {
-		pt, err := runPoint(ctx, opts, s.name, s.n, s.k, s.engine, *trials)
+		pt, err := runPoint(ctx, opts, s.name, s.n, s.k, s.engine, s.maxInteractions, *trials)
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
 				fmt.Fprintf(os.Stderr, "kpart-bench: interrupted; completed trials saved in %s — rerun with -resume to continue\n", journalPath)
@@ -165,20 +172,17 @@ func main() {
 // runPoint executes trials at one point and aggregates wall times and
 // interaction counts. Journaled trials (a -resume run) contribute their
 // recorded wall times instead of being re-measured.
-func runPoint(ctx context.Context, opts harness.RunOptions, name string, n, k int, engine harness.Engine, trials int) (benchPoint, error) {
-	engName := "agent"
-	if engine == harness.EngineCount {
-		engName = "count"
-	}
-	pt := benchPoint{Name: name, N: n, K: k, Engine: engName, Trials: trials}
+func runPoint(ctx context.Context, opts harness.RunOptions, name string, n, k int, engine harness.Engine, maxInteractions uint64, trials int) (benchPoint, error) {
+	pt := benchPoint{Name: name, N: n, K: k, Engine: engine.String(), Trials: trials}
 	var wallNS, interactions []float64
 	var totalI uint64
 	var totalWall time.Duration
 	for t := 0; t < trials; t++ {
 		spec := harness.TrialSpec{
 			N: n, K: k,
-			Seed:   rng.StreamSeed(0xbe9c4, uint64(n), uint64(k), uint64(t)),
-			Engine: engine,
+			Seed:            rng.StreamSeed(0xbe9c4, uint64(n), uint64(k), uint64(t)),
+			Engine:          engine,
+			MaxInteractions: maxInteractions,
 		}
 		var res harness.TrialResult
 		var wall time.Duration

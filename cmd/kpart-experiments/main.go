@@ -47,7 +47,7 @@ func main() {
 		quick        = flag.Bool("quick", false, "shrink all sweeps for a fast smoke run")
 		nmax         = flag.Int("nmax", 60, "fig3/4: maximum n")
 		fig6max      = flag.Int("fig6max", 12, "fig6: largest k (divisor of 960)")
-		engine       = flag.String("engine", "agent", "simulation backend: agent or count (count skips null runs; same distribution, faster tails)")
+		engine       = flag.String("engine", "agent", "simulation backend: agent, count or batch (count skips null runs, same distribution; batch aggregates interactions per batch, fastest at large n)")
 		debugAddr    = flag.String("debug-addr", "", "serve pprof and /debug/vars on this address (e.g. :6060)")
 		metrics      = flag.Bool("metrics", false, "record harness metrics; snapshot written to <out>/metrics.jsonl")
 		resume       = flag.Bool("resume", false, "resume from existing <out>/<fig>.journal files instead of starting fresh")
@@ -77,14 +77,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kpart-experiments: debug server on http://%s/debug/pprof\n", ln.Addr())
 	}
 
-	var eng harness.Engine
-	switch *engine {
-	case "agent":
-		eng = harness.EngineAgent
-	case "count":
-		eng = harness.EngineCount
-	default:
-		fmt.Fprintf(os.Stderr, "kpart-experiments: unknown engine %q\n", *engine)
+	eng, err := harness.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kpart-experiments: %v\n", err)
 		os.Exit(2)
 	}
 

@@ -8,6 +8,7 @@
 //
 //	kpart-scale -n 100000 -k 8 -trials 5 [-seed 1]
 //	kpart-scale -n 960 -k 16,20,24 -trials 10     # extend Figure 6
+//	kpart-scale -n 100000000 -k 8 -engine batch   # planet scale: batched engine, ~1s/trial
 //	kpart-scale -n 1000000 -k 8 -progress 100000000 -debug-addr :6060
 //	kpart-scale -n 10000000 -k 8 -journal scale.journal -trial-timeout 2h -retries 1
 //	kpart-scale -n 10000000 -k 8 -journal scale.journal -resume   # after a crash/SIGINT
@@ -97,8 +98,21 @@ func main() {
 		resume       = flag.Bool("resume", false, "resume from -journal, skipping already-completed trials")
 		trialTimeout = flag.Duration("trial-timeout", 0, "per-trial wall deadline (0 = none); timed-out trials retry under derived seeds")
 		retries      = flag.Int("retries", 0, "extra attempts for transiently failed trials")
+		engineFlag   = flag.String("engine", "count", "count engine: count (sequential, exact distribution) or batch (aggregated batches, approximate interaction totals, fastest)")
+		batchSize    = flag.Uint64("batch", 0, "batch engine: fixed matching size per batch (0 = adaptive aggregate mode)")
 	)
 	flag.Parse()
+
+	eng, err := harness.ParseEngine(*engineFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if eng == harness.EngineAgent {
+		fatal(errors.New("kpart-scale is count-based; -engine must be count or batch"))
+	}
+	if *batchSize != 0 && eng != harness.EngineBatch {
+		fatal(errors.New("-batch requires -engine batch"))
+	}
 
 	if *debugAddr != "" {
 		ln, err := obs.ServeDebug(*debugAddr)
@@ -134,7 +148,8 @@ func main() {
 		fatal(errors.New("-resume requires -journal"))
 	}
 	if *journalPath != "" {
-		meta := fmt.Sprintf("kpart-scale n=%d k=%s trials=%d seed=%d", *n, *ksFlag, *trials, *seed)
+		meta := fmt.Sprintf("kpart-scale n=%d k=%s trials=%d seed=%d engine=%s batch=%d",
+			*n, *ksFlag, *trials, *seed, eng, *batchSize)
 		var err error
 		if *resume {
 			j, err = harness.OpenJournal(*journalPath, meta)
@@ -166,7 +181,8 @@ func main() {
 				N: *n, K: k,
 				Seed:            rng.StreamSeed(*seed, uint64(ki), uint64(t)),
 				MaxInteractions: 1 << 62,
-				Engine:          harness.EngineCount,
+				Engine:          eng,
+				BatchSize:       *batchSize,
 			}
 			var res harness.TrialResult
 			var wall time.Duration
@@ -224,7 +240,11 @@ func main() {
 			pt.MeanProductive, pt.SkipFactor,
 			ms(pt.WallMS.Min), ms(pt.WallMS.Median), ms(pt.WallMS.P90), ms(pt.WallMS.Max))
 	}
-	fmt.Println("count-based engine (exact distribution, null runs skipped geometrically)")
+	if eng == harness.EngineBatch {
+		fmt.Println("batched count engine (bulk sampled batches; interaction totals approximate in adaptive mode)")
+	} else {
+		fmt.Println("count-based engine (exact distribution, null runs skipped geometrically)")
+	}
 	tbl.WriteTo(os.Stdout)
 	if doc.Resumed > 0 {
 		fmt.Printf("(%d of %d trials resumed from journal)\n", doc.Resumed, len(ks)**trials)

@@ -120,9 +120,10 @@ func TestTraceReplayFairnessRoundTrip(t *testing.T) {
 	}
 }
 
-// Three engines, one number: for a small (n, k), the exact Markov
-// expectation, the agent-level mean, and the count-level mean must
-// coincide (each simulated mean within 4 SE of exact).
+// Four engines, one number: for a small (n, k), the exact Markov
+// expectation, the agent-level mean, the count-level mean, and the batched
+// engine at matching size 1 (which reproduces the sequential law exactly)
+// must coincide (each simulated mean within 4 SE of exact).
 func TestThreeEnginesAgree(t *testing.T) {
 	const n, k, trials = 7, 3, 20000
 	p := core.MustNew(k)
@@ -166,6 +167,16 @@ func TestThreeEnginesAgree(t *testing.T) {
 			t.Fatalf("%v", err)
 		}
 		return s.Interactions()
+	})
+	check("batch", func(i int) uint64 {
+		res, err := harness.RunTrial(harness.TrialSpec{
+			N: n, K: k, Seed: rng.StreamSeed(0x333, uint64(i)),
+			Engine: harness.EngineBatch, BatchSize: 1,
+		})
+		if err != nil || !res.Converged {
+			t.Fatalf("%v", err)
+		}
+		return res.Interactions
 	})
 }
 

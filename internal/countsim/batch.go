@@ -1,0 +1,619 @@
+// batch.go implements the batched count engine: instead of advancing one
+// productive interaction at a time, it draws the number of interactions
+// landing on each ordered state pair over a whole window of scheduled
+// interactions and applies the protocol's rules in bulk, re-checking the
+// invariants only at batch boundaries. Cost per batch is O(S²) plus the
+// sampler walks, independent of the window length, which puts n = 10⁸–10⁹
+// runs within reach of one core.
+//
+// Two batching modes share the Batch type:
+//
+//   - Fixed-size matching mode (BatchOptions.Size > 0): every batch draws a
+//     uniformly random set of Size DISJOINT ordered agent pairs — initiator
+//     multiset ~ multivariate hypergeometric over the counts, responder
+//     multiset ~ multivariate hypergeometric over the remainder, and a
+//     uniform bijection between them via conditional hypergeometric rows.
+//     Disjoint pairs commute, so applying them in bulk equals applying them
+//     sequentially in any order: every configuration this mode visits is
+//     sequentially reachable, exactly, and each of the Size pairs is
+//     marginally a uniform ordered pair — E[draws on cell (a,b)] is exactly
+//     Size·c_a·(c_b−[a=b])/(n(n−1)), which the chi-square tests pin down.
+//     At Size = 1 the mode reproduces the sequential engine's law
+//     interaction for interaction. Requires 2·Size ≤ n.
+//
+//   - Adaptive aggregate mode (Size == 0): the window length m is chosen so
+//     the expected number of PROGRESS interactions per batch stays small
+//     relative to the states participating in them, where a progress cell
+//     is any non-null cell that is not a flip cell. Flip cells — those of
+//     the shape δ(a,b) = (a,b′) with δ(a,b′) = (a,b), i.e. Algorithm 1's
+//     rules 3/4 toggling a free agent's bar — form two-state orbits whose
+//     within-batch dynamics are a per-agent two-state Markov chain with
+//     rates frozen at the batch start; the engine resamples each orbit's
+//     occupancy from the closed-form m-step transition probabilities
+//     instead of enumerating the (overwhelmingly dominant) flip events.
+//     Progress events are drawn as Binomial(m, progW/W), spread over
+//     progress cells by a conditional-binomial multinomial chain, and
+//     applied with availability clamping (outputs of a batch are not
+//     reusable as inputs within it). This mode is an aggregate
+//     approximation — exact in the per-cell means and in every invariant,
+//     approximate in within-batch interleaving — with the accuracy
+//     contract validated by the differential and statistical tests in
+//     batch_test.go. When the proposed window is shorter than
+//     SeqThreshold the engine takes exact sequential steps instead
+//     (final-approach mode), so small populations and endgames degrade to
+//     the exact engine automatically.
+//
+// Both modes re-run the O(S²) null-weight audit, the weight-decomposition
+// audit (progW + flipW + nullW = n(n−1)), and the optional Check hook at
+// every batch boundary.
+package countsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/protocol"
+)
+
+// DefaultSeqThreshold is the adaptive mode's final-approach cutoff: when
+// the policy proposes a batch covering fewer scheduled interactions than
+// this, the engine takes exact sequential steps instead. At that span the
+// geometric null-skip of the sequential engine is already doing the same
+// O(1)-per-productive-step work without the aggregate approximation.
+const DefaultSeqThreshold = 4096
+
+// Adaptive-policy constants. These are frozen, not tunables: they decide
+// how many stream draws a batch consumes, so changing them changes every
+// seeded trajectory.
+const (
+	// targetDivisor bounds expected progress events per batch to
+	// (participating agents)/targetDivisor, keeping per-cell draws small
+	// against the availabilities they consume.
+	targetDivisor = 16
+	// maxTargetProgress caps per-batch progress draws so a single batch's
+	// sampling work stays bounded (and with it the cancellation-poll
+	// latency of RunUntilCtx).
+	maxTargetProgress = 1 << 22
+)
+
+// BatchOptions configures a Batch engine.
+type BatchOptions struct {
+	// Size, when positive, selects fixed-size matching mode: every batch
+	// draws exactly Size disjoint ordered agent pairs (2·Size ≤ n
+	// required). Zero selects adaptive aggregate mode.
+	Size uint64
+	// SeqThreshold overrides the adaptive final-approach cutoff: proposed
+	// windows shorter than this many interactions run as exact sequential
+	// steps. Zero means DefaultSeqThreshold; a negative value disables the
+	// fallback entirely (used by tests to force aggregate batching on tiny
+	// populations). Ignored in matching mode.
+	SeqThreshold int64
+	// Check, when non-nil, is invoked with the live count vector at every
+	// batch boundary and after every fallback step; a non-nil error aborts
+	// the run. The harness installs the protocol's Lemma 1 invariant here.
+	Check func(counts []int) error
+}
+
+// Cell shapes for the adaptive mode's static classification.
+const (
+	shapeNone      uint8 = iota
+	shapeResponder       // δ(a,b) = (a,b′): responder toggles b ↔ b′
+	shapeInitiator       // δ(a,b) = (a′,b): initiator toggles a ↔ a′
+)
+
+// Batch is a batched count engine wrapping the sequential Sim. Not safe
+// for concurrent use.
+type Batch struct {
+	sim  *Sim
+	opts BatchOptions
+
+	// Static classification (adaptive mode).
+	flipShape []uint8 // S*S; shape of each flip-classified cell
+	flipCells []int   // flat indices of flip cells, ascending
+	progCells []int   // flat indices of progress (non-null, non-flip) cells
+	orbits    [][2]int
+
+	// progState is per-batch scratch: marks states participating in a
+	// progress cell with positive weight this batch.
+	progState []bool
+
+	// Per-batch scratch, allocated once.
+	progWeights []int64 // weight of progCells[j] this batch
+	progDraws   []int64
+	rates       []int64 // per-state per-agent flip pair counts R[x]
+	avail       []int64
+	scrA        []int64
+	scrB        []int64
+	scrRow      []int64
+	pairDraws   []int64 // matching mode: last batch's per-cell draw counts
+
+	// Introspection counters.
+	batches  uint64
+	seqSteps uint64
+	clamped  uint64
+}
+
+// NewBatch builds a batched engine with n agents in the protocol's initial
+// state.
+func NewBatch(p protocol.Protocol, n int, seed uint64, opts BatchOptions) (*Batch, error) {
+	counts := make([]int, p.NumStates())
+	counts[p.InitialState()] = n
+	return BatchFromCounts(p, counts, seed, opts)
+}
+
+// BatchFromCounts builds a batched engine from an explicit count vector.
+func BatchFromCounts(p protocol.Protocol, counts []int, seed uint64, opts BatchOptions) (*Batch, error) {
+	s, err := FromCounts(p, counts, seed)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Size > 0 && 2*opts.Size > uint64(s.n) {
+		return nil, fmt.Errorf("countsim: matching batch size %d needs 2·size <= n = %d", opts.Size, s.n)
+	}
+	if opts.SeqThreshold == 0 {
+		opts.SeqThreshold = DefaultSeqThreshold
+	}
+	b := &Batch{sim: s, opts: opts}
+	b.classify()
+	S := s.S
+	b.progWeights = make([]int64, len(b.progCells))
+	b.progDraws = make([]int64, len(b.progCells))
+	b.rates = make([]int64, S)
+	b.avail = make([]int64, S)
+	b.scrA = make([]int64, S)
+	b.scrB = make([]int64, S)
+	b.scrRow = make([]int64, S)
+	b.pairDraws = make([]int64, S*S)
+	return b, nil
+}
+
+// classify splits the non-null cells into flip cells (two-state toggle
+// orbits aggregated in closed form) and progress cells (sampled
+// discretely). Flip-shaped cells whose toggle partners are inconsistent
+// across cells — possible for protocols other than Algorithm 1 — are
+// conservatively demoted to progress cells.
+func (b *Batch) classify() {
+	s := b.sim
+	S := s.S
+	b.flipShape = make([]uint8, S*S)
+	b.progState = make([]bool, S)
+	cand := make([]int, S) // candidate toggle partner per state
+	for i := range cand {
+		cand[i] = -1
+	}
+	conflict := make([]bool, S)
+	propose := func(x, y int) {
+		if cand[x] == -1 {
+			cand[x] = y
+		} else if cand[x] != y {
+			conflict[x] = true
+		}
+	}
+	for a := 0; a < S; a++ {
+		for q := 0; q < S; q++ {
+			i := a*S + q
+			if s.nullPair[i] {
+				continue
+			}
+			out := s.result[i]
+			if int(out.P) == a && int(out.Q) != q {
+				back := s.result[a*S+int(out.Q)]
+				if int(back.P) == a && int(back.Q) == q {
+					b.flipShape[i] = shapeResponder
+					propose(q, int(out.Q))
+				}
+			} else if int(out.Q) == q && int(out.P) != a {
+				back := s.result[int(out.P)*S+q]
+				if int(back.P) == a && int(back.Q) == q {
+					b.flipShape[i] = shapeInitiator
+					propose(a, int(out.P))
+				}
+			}
+		}
+	}
+	orbitOK := func(x int) bool {
+		return cand[x] >= 0 && !conflict[x] &&
+			cand[cand[x]] == x && !conflict[cand[x]]
+	}
+	for a := 0; a < S; a++ {
+		for q := 0; q < S; q++ {
+			i := a*S + q
+			if s.nullPair[i] {
+				continue
+			}
+			flipping := -1
+			switch b.flipShape[i] {
+			case shapeResponder:
+				flipping = q
+			case shapeInitiator:
+				flipping = a
+			}
+			if flipping >= 0 && orbitOK(flipping) {
+				b.flipCells = append(b.flipCells, i)
+			} else {
+				b.flipShape[i] = shapeNone
+				b.progCells = append(b.progCells, i)
+			}
+		}
+	}
+	for x := 0; x < S; x++ {
+		if orbitOK(x) && x < cand[x] {
+			b.orbits = append(b.orbits, [2]int{x, cand[x]})
+		}
+	}
+}
+
+// N returns the population size.
+func (b *Batch) N() int { return b.sim.n }
+
+// Counts returns a copy of the count vector.
+func (b *Batch) Counts() []int { return b.sim.Counts() }
+
+// CountsView returns the live count vector; callers must not modify it.
+func (b *Batch) CountsView() []int { return b.sim.counts }
+
+// Interactions returns total scheduled interactions, nulls included.
+func (b *Batch) Interactions() uint64 { return b.sim.interactions }
+
+// Productive returns state-changing interactions: bulk-applied progress
+// events, flip events, and fallback steps alike.
+func (b *Batch) Productive() uint64 { return b.sim.productive }
+
+// NullWeight exposes the current ordered null weight.
+func (b *Batch) NullWeight() int64 { return b.sim.nullW }
+
+// Batches returns how many bulk batches have been applied.
+func (b *Batch) Batches() uint64 { return b.batches }
+
+// SeqSteps returns how many exact sequential fallback steps were taken.
+func (b *Batch) SeqSteps() uint64 { return b.seqSteps }
+
+// Clamped returns how many drawn progress events were dropped by
+// availability clamping in aggregate mode (always 0 in matching mode).
+func (b *Batch) Clamped() uint64 { return b.clamped }
+
+// PairDraws returns, for the most recent matching-mode batch, how many of
+// its pairs landed on each ordered state cell (flat a*S+b indexing, a copy).
+// It returns nil if the engine is not in matching mode. The chi-square
+// tests compare these against the exact per-cell expectations.
+func (b *Batch) PairDraws() []int64 {
+	if b.opts.Size == 0 {
+		return nil
+	}
+	return append([]int64(nil), b.pairDraws...)
+}
+
+// Step advances one batch (or, in adaptive final-approach, one exact
+// sequential step). It returns ErrDead if no state change can ever occur.
+func (b *Batch) Step() error {
+	return b.step(1 << 62)
+}
+
+// step advances one batch without letting the interaction counter pass
+// limit. Callers guarantee interactions < limit.
+func (b *Batch) step(limit uint64) error {
+	if b.opts.Size > 0 {
+		return b.stepMatching(limit)
+	}
+	return b.stepAggregate(limit)
+}
+
+// boundary re-checks the invariants that bulk application must preserve.
+func (b *Batch) boundary() error {
+	s := b.sim
+	if got := s.auditNullWeight(); got != s.nullW {
+		return fmt.Errorf("countsim: batch null-weight audit failed: incremental %d, recomputed %d", s.nullW, got)
+	}
+	if b.opts.Check != nil {
+		return b.opts.Check(s.counts)
+	}
+	return nil
+}
+
+// stepMatching draws one fixed-size batch of disjoint ordered pairs and
+// applies every cell literally.
+func (b *Batch) stepMatching(limit uint64) error {
+	s := b.sim
+	S := s.S
+	if int64(s.n)*int64(s.n-1)-s.nullW <= 0 {
+		return ErrDead
+	}
+	m := b.opts.Size
+	if rem := limit - s.interactions; m > rem {
+		m = rem
+	}
+	c64 := b.scrA
+	for i, c := range s.counts {
+		c64[i] = int64(c)
+	}
+	u := b.avail // initiator multiset
+	s.rand.MultivariateHypergeometric(int64(m), c64, u)
+	for i := range c64 {
+		b.scrB[i] = c64[i] - u[i]
+	}
+	v := b.rates // responder multiset, consumed row by row
+	s.rand.MultivariateHypergeometric(int64(m), b.scrB, v)
+	for i := range b.pairDraws {
+		b.pairDraws[i] = 0
+	}
+	for a := 0; a < S; a++ {
+		if u[a] == 0 {
+			continue
+		}
+		s.rand.MultivariateHypergeometric(u[a], v, b.scrRow)
+		base := a * S
+		for q := 0; q < S; q++ {
+			t := b.scrRow[q]
+			if t == 0 {
+				continue
+			}
+			v[q] -= t
+			b.pairDraws[base+q] = t
+			if s.nullPair[base+q] {
+				continue
+			}
+			out := s.result[base+q]
+			s.adjust(a, -t)
+			s.adjust(q, -t)
+			s.adjust(int(out.P), t)
+			s.adjust(int(out.Q), t)
+			s.productive += uint64(t)
+		}
+	}
+	s.interactions += m
+	b.batches++
+	return b.boundary()
+}
+
+// stepAggregate runs one adaptive batch: weight scan, window policy,
+// progress draws with clamping, and closed-form orbit resampling.
+func (b *Batch) stepAggregate(limit uint64) error {
+	s := b.sim
+	S := s.S
+	W := int64(s.n) * int64(s.n-1)
+
+	// Weight scan. R[x] counts, per agent currently in state x, the ordered
+	// agent pairs whose interaction toggles that agent within its orbit.
+	// Alongside the progress weights, record which states currently
+	// participate in a live progress cell (pmark) and the largest count
+	// appearing in one (cmax) — both feed the window policy below.
+	var progW, flipW, cmax int64
+	pmark := b.progState
+	for i := range pmark {
+		pmark[i] = false
+	}
+	for j, cell := range b.progCells {
+		a, q := cell/S, cell%S
+		ca, cq := int64(s.counts[a]), int64(s.counts[q])
+		if q == a {
+			cq--
+		}
+		var w int64
+		if ca > 0 && cq > 0 {
+			w = ca * cq
+			pmark[a] = true
+			pmark[q] = true
+			if ca > cmax {
+				cmax = ca
+			}
+			if cq > cmax {
+				cmax = cq
+			}
+		}
+		b.progWeights[j] = w
+		progW += w
+	}
+	R := b.rates
+	for i := range R {
+		R[i] = 0
+	}
+	for _, cell := range b.flipCells {
+		a, q := cell/S, cell%S
+		if b.flipShape[cell] == shapeResponder {
+			ca := int64(s.counts[a])
+			if a == q {
+				ca--
+			}
+			if ca > 0 {
+				R[q] += ca
+			}
+		} else {
+			cq := int64(s.counts[q])
+			if q == a {
+				cq--
+			}
+			if cq > 0 {
+				R[a] += cq
+			}
+		}
+	}
+	for x := 0; x < S; x++ {
+		flipW += int64(s.counts[x]) * R[x]
+	}
+	if progW+flipW != W-s.nullW {
+		return fmt.Errorf("countsim: batch weight decomposition audit failed: progress %d + flip %d != total %d - null %d",
+			progW, flipW, W, s.nullW)
+	}
+	if progW+flipW <= 0 {
+		return ErrDead
+	}
+
+	// Window policy.
+	remaining := limit - s.interactions
+	if remaining > 1<<62 {
+		remaining = 1 << 62
+	}
+	var m uint64
+	if progW == 0 {
+		// Only flips remain possible; spend the whole budget in one batch.
+		m = remaining
+	} else {
+		// Per-batch progress budget: small against the agents currently
+		// participating in progress cells (pA), and small against the
+		// availability of every individual cell — E[draws on cell (a,q)] is
+		// targetP·c_a·c_q/progW, so capping targetP at progW/(4·cmax) keeps
+		// each cell's expected draws under min(c_a, c_q)/4.
+		var pA int64
+		for x := 0; x < S; x++ {
+			if pmark[x] {
+				pA += int64(s.counts[x])
+			}
+		}
+		targetP := pA / targetDivisor
+		if cellCap := progW / (4 * cmax); cellCap < targetP {
+			targetP = cellCap
+		}
+		if targetP < 1 {
+			targetP = 1
+		}
+		if targetP > maxTargetProgress {
+			targetP = maxTargetProgress
+		}
+		mf := float64(targetP) * float64(W) / float64(progW)
+		if targetP < 4 {
+			// Sparse regime: a window sized at the mean waiting time
+			// overshoots the last event by ~58% in expectation (memoryless
+			// waits, E[windows to first event] = 1/(1−e⁻¹)). Quarter
+			// windows cut the expected overshoot to ~13% for 4× as many
+			// (cheap, near-empty) batches.
+			mf /= 4
+		}
+		if b.opts.SeqThreshold > 0 && mf < float64(b.opts.SeqThreshold) {
+			// Final-approach mode: the window is short enough that the
+			// sequential engine's geometric null-skip does the same work
+			// exactly.
+			if _, _, err := s.Step(); err != nil {
+				return err
+			}
+			b.seqSteps++
+			return b.boundary()
+		}
+		if mf >= float64(remaining) {
+			m = remaining
+		} else {
+			m = uint64(mf)
+			if m < 1 {
+				m = 1
+			}
+		}
+	}
+
+	// Event draws: progress events first, then flip events among the rest.
+	P := s.rand.Binomial(int64(m), float64(progW)/float64(W))
+	var F int64
+	if flipW > 0 && int64(m) > P {
+		F = s.rand.Binomial(int64(m)-P, float64(flipW)/float64(W-progW))
+	}
+	if P > 0 {
+		s.rand.Multinomial(P, b.progWeights, b.progDraws)
+		avail := b.avail
+		for i, c := range s.counts {
+			avail[i] = int64(c)
+		}
+		for j, cell := range b.progCells {
+			t := b.progDraws[j]
+			if t == 0 {
+				continue
+			}
+			a, q := cell/S, cell%S
+			lim := avail[a]
+			if q == a {
+				lim = avail[a] / 2
+			} else if avail[q] < lim {
+				lim = avail[q]
+			}
+			if t > lim {
+				b.clamped += uint64(t - lim)
+				t = lim
+				if t <= 0 {
+					continue
+				}
+			}
+			if q == a {
+				avail[a] -= 2 * t
+			} else {
+				avail[a] -= t
+				avail[q] -= t
+			}
+			out := s.result[cell]
+			s.adjust(a, -t)
+			s.adjust(q, -t)
+			s.adjust(int(out.P), t)
+			s.adjust(int(out.Q), t)
+			s.productive += uint64(t)
+		}
+	}
+	s.productive += uint64(F)
+
+	// Orbit resampling: each agent in orbit {x,y} toggles per interaction
+	// with probability R[state]/W, a two-state chain whose m-step
+	// transition probability is (p_x/(p_x+p_y))·(1−(1−p_x−p_y)^m).
+	for _, o := range b.orbits {
+		x, y := o[0], o[1]
+		px := float64(R[x]) / float64(W)
+		py := float64(R[y]) / float64(W)
+		sum := px + py
+		if sum <= 0 {
+			continue
+		}
+		cx, cy := int64(s.counts[x]), int64(s.counts[y])
+		if cx+cy == 0 {
+			continue
+		}
+		var decay float64
+		if sum < 1 {
+			decay = math.Exp(float64(m) * math.Log1p(-sum))
+		}
+		pxy := px / sum * (1 - decay)
+		pyx := py / sum * (1 - decay)
+		newX := s.rand.Binomial(cx, 1-pxy) + s.rand.Binomial(cy, pyx)
+		if d := newX - cx; d != 0 {
+			s.adjust(x, d)
+			s.adjust(y, -d)
+		}
+	}
+
+	s.interactions += m
+	b.batches++
+	return b.boundary()
+}
+
+// RunUntil advances batches until pred(counts) reports true at a boundary
+// or the interaction cap is exceeded; it reports whether pred fired. A
+// quiescent configuration returns pred's final verdict.
+func (b *Batch) RunUntil(pred func(counts []int) bool, maxInteractions uint64) (bool, error) {
+	return b.RunUntilCtx(nil, pred, maxInteractions)
+}
+
+// RunUntilCtx is RunUntil with cancellation, polled once per batch (and at
+// the sequential engine's cadence during final-approach runs, where each
+// step is one "batch").
+func (b *Batch) RunUntilCtx(ctx context.Context, pred func(counts []int) bool, maxInteractions uint64) (bool, error) {
+	s := b.sim
+	if pred(s.counts) {
+		return true, nil
+	}
+	var polls uint
+	for s.interactions < maxInteractions {
+		if ctx != nil {
+			if polls&ctxPollMask == 0 {
+				if err := ctx.Err(); err != nil {
+					return false, err
+				}
+			}
+			polls++
+		}
+		if err := b.step(maxInteractions); err != nil {
+			if errors.Is(err, ErrDead) {
+				return pred(s.counts), nil
+			}
+			return false, err
+		}
+		if pred(s.counts) {
+			return true, nil
+		}
+	}
+	return false, nil
+}

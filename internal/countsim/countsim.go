@@ -142,8 +142,9 @@ func (s *Sim) auditNullWeight() int64 {
 	return w
 }
 
-// adjust changes state x's count by delta (±1), maintaining nullW, rowSum
-// and colSum in O(S).
+// adjust changes state x's count by delta (any magnitude — the batched
+// engine applies whole cells at once), maintaining nullW, rowSum and
+// colSum in O(S).
 //
 // Derivation: with B = Σ_{null(a,b)} c_a·c_b and D = Σ_{null(a,a)} c_a,
 // nullW = B − D. Changing c_x by δ changes

@@ -42,6 +42,15 @@ const (
 	// runs are skipped geometrically. Identical output distribution,
 	// much faster on null-dominated workloads (large n, large k).
 	EngineCount
+	// EngineBatch is the batched count engine (countsim.Batch): whole
+	// windows of interactions are drawn and applied per O(S²) batch,
+	// with invariants re-checked only at batch boundaries and automatic
+	// sequential fallback near stability. BatchSize selects the mode:
+	// 0 is the adaptive aggregate mode (approximate within batches,
+	// exact in every invariant — the differential tests in
+	// internal/countsim pin down the contract), a positive size is the
+	// exact fixed-size matching mode.
+	EngineBatch
 )
 
 // TrialSpec describes one simulation trial of the k-partition protocol.
@@ -54,6 +63,11 @@ type TrialSpec struct {
 	Grouping bool
 	// Engine selects the backend (default EngineAgent).
 	Engine Engine
+	// BatchSize, meaningful only for EngineBatch, selects fixed-size
+	// matching mode with this many disjoint pairs per batch (2·BatchSize
+	// ≤ N required); 0 selects adaptive aggregate mode. ValidateSpec
+	// rejects a non-zero BatchSize on any other engine.
+	BatchSize uint64
 }
 
 // TrialResult is the outcome of one trial.
@@ -271,7 +285,7 @@ func runTrial(ctx context.Context, spec TrialSpec, ropts RunOptions) (TrialResul
 	if err != nil {
 		return TrialResult{}, fmt.Errorf("%w: n=%d k=%d: %v", ErrInvalidSpec, spec.N, spec.K, err)
 	}
-	if spec.Engine == EngineCount {
+	if spec.Engine == EngineCount || spec.Engine == EngineBatch {
 		return runCountTrial(ctx, p, spec, ropts)
 	}
 	pop := population.New(p, spec.N)
@@ -317,12 +331,43 @@ func runTrial(ctx context.Context, spec TrialSpec, ropts RunOptions) (TrialResul
 	return out, nil
 }
 
-// runCountTrial runs a trial on the count-based engine. Grouping marks are
-// reconstructed from the gk count observed inside the stop predicate.
+// countEngine is the run-loop surface shared by the sequential count
+// engine (countsim.Sim) and the batched one (countsim.Batch); runCountTrial
+// drives either through it.
+type countEngine interface {
+	RunUntilCtx(ctx context.Context, pred func(counts []int) bool, maxInteractions uint64) (bool, error)
+	Interactions() uint64
+	Productive() uint64
+	CountsView() []int
+}
+
+// runCountTrial runs a trial on the count-based engine (sequential or
+// batched). Grouping marks are reconstructed from the gk count observed
+// inside the stop predicate; on the batched engine the predicate only
+// runs at batch boundaries, so marks are boundary-granular there.
 func runCountTrial(ctx context.Context, p *core.Protocol, spec TrialSpec, ropts RunOptions) (TrialResult, error) {
-	s, err := countsim.New(p, spec.N, spec.Seed)
-	if err != nil {
-		return TrialResult{}, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+	var s countEngine
+	engSpan := "engine/count"
+	if spec.Engine == EngineBatch {
+		// The batched engine re-checks the Lemma 1 invariant at every
+		// batch boundary on top of its own null-weight audit: bulk
+		// application must not be able to leave the reachable region
+		// silently.
+		b, err := countsim.NewBatch(p, spec.N, spec.Seed, countsim.BatchOptions{
+			Size:  spec.BatchSize,
+			Check: p.CheckInvariant,
+		})
+		if err != nil {
+			return TrialResult{}, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+		}
+		s = b
+		engSpan = "engine/batch"
+	} else {
+		seq, err := countsim.New(p, spec.N, spec.Seed)
+		if err != nil {
+			return TrialResult{}, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+		}
+		s = seq
 	}
 	maxI := spec.MaxInteractions
 	if maxI == 0 {
@@ -353,7 +398,7 @@ func runCountTrial(ctx context.Context, p *core.Protocol, spec TrialSpec, ropts 
 	// are detected for tracing even when the spec did not ask for marks,
 	// but the spans never leak into the result: Marks stays nil unless
 	// spec.Grouping, so traced and untraced results are byte-identical.
-	espan := span.FromContext(ctx).Child("engine/count")
+	espan := span.FromContext(ctx).Child(engSpan)
 	trackPhases := spec.Grouping || espan != nil
 	phases := 0
 	var prevMark uint64
@@ -635,6 +680,7 @@ type SweepSpec struct {
 	Workers         int
 	MaxInteractions uint64
 	Engine          Engine
+	BatchSize       uint64
 }
 
 // Specs expands the sweep point into its per-trial specs, in trial order.
@@ -647,6 +693,7 @@ func (s SweepSpec) Specs() []TrialSpec {
 			Grouping:        s.Grouping,
 			MaxInteractions: s.MaxInteractions,
 			Engine:          s.Engine,
+			BatchSize:       s.BatchSize,
 		}
 	}
 	return specs

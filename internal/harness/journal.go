@@ -65,9 +65,14 @@ type Entry struct {
 // nothing else (execution policy like timeouts or worker counts must not
 // change a trial's identity).
 func SpecKey(s TrialSpec) string {
+	// v2 added batch=: the batched engine's mode selector is part of a
+	// trial's identity (same seed, different batch size, different
+	// trajectory). Bumping the version string retires every v1 key at
+	// once — an old journal resumes as a fresh campaign rather than
+	// aliasing records across the format change.
 	h := sha256.Sum256([]byte(fmt.Sprintf(
-		"kpart-trial/v1 n=%d k=%d seed=%d max=%d grouping=%t engine=%d",
-		s.N, s.K, s.Seed, s.MaxInteractions, s.Grouping, s.Engine)))
+		"kpart-trial/v2 n=%d k=%d seed=%d max=%d grouping=%t engine=%d batch=%d",
+		s.N, s.K, s.Seed, s.MaxInteractions, s.Grouping, s.Engine, s.BatchSize)))
 	return hex.EncodeToString(h[:16])
 }
 

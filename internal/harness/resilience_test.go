@@ -24,6 +24,15 @@ func TestRunManyDifferentialDeterminism(t *testing.T) {
 			Engine:   Engine(i % 2), // alternate agent/count
 		})
 	}
+	// The batched engine in both modes: adaptive (BatchSize 0) and exact
+	// matching. Its results must be just as independent of worker count.
+	for i := 0; i < 6; i++ {
+		specs = append(specs, TrialSpec{
+			N: 20 + i, K: 3, Seed: uint64(900 + i),
+			Engine:    EngineBatch,
+			BatchSize: uint64(i % 3 * 4), // 0 (adaptive), 4, 8
+		})
+	}
 	run := func(workers int) []byte {
 		res, err := RunManyCtx(context.Background(), specs, workers, RunOptions{})
 		if err != nil {

@@ -23,6 +23,7 @@ var specKeyMutations = map[string]func(*TrialSpec){
 	"MaxInteractions": func(s *TrialSpec) { s.MaxInteractions++ },
 	"Grouping":        func(s *TrialSpec) { s.Grouping = !s.Grouping },
 	"Engine":          func(s *TrialSpec) { s.Engine = EngineCount },
+	"BatchSize":       func(s *TrialSpec) { s.BatchSize++ },
 }
 
 func TestSpecKeyCoversEveryTrialSpecField(t *testing.T) {

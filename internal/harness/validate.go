@@ -18,21 +18,25 @@ func (e Engine) String() string {
 		return "agent"
 	case EngineCount:
 		return "count"
+	case EngineBatch:
+		return "batch"
 	}
 	return fmt.Sprintf("engine(%d)", uint8(e))
 }
 
-// ParseEngine maps an -engine flag value ("agent" or "count") to an
-// Engine. Unknown names return an ErrInvalidSpec-wrapped error so callers
-// can treat them like any other malformed spec field.
+// ParseEngine maps an -engine flag value ("agent", "count" or "batch")
+// to an Engine. Unknown names return an ErrInvalidSpec-wrapped error so
+// callers can treat them like any other malformed spec field.
 func ParseEngine(s string) (Engine, error) {
 	switch s {
 	case "", "agent":
 		return EngineAgent, nil
 	case "count":
 		return EngineCount, nil
+	case "batch":
+		return EngineBatch, nil
 	}
-	return EngineAgent, fmt.Errorf("%w: unknown engine %q (want agent or count)", ErrInvalidSpec, s)
+	return EngineAgent, fmt.Errorf("%w: unknown engine %q (want agent, count or batch)", ErrInvalidSpec, s)
 }
 
 // ValidateSpec checks that spec identifies a runnable trial WITHOUT
@@ -49,13 +53,29 @@ func ValidateSpec(spec TrialSpec) error {
 		return fmt.Errorf("%w: k=%d exceeds the %d-state table bound (max k %d)",
 			ErrInvalidSpec, spec.K, protocol.MaxStates, MaxK)
 	}
-	if spec.Engine != EngineAgent && spec.Engine != EngineCount {
+	switch spec.Engine {
+	case EngineAgent, EngineCount, EngineBatch:
+	default:
 		return fmt.Errorf("%w: unknown engine %d", ErrInvalidSpec, spec.Engine)
 	}
 	// Proto is safe now that k is in range; TargetCounts rejects
 	// populations with no stable signature (n < 3).
 	if _, err := Proto(spec.K).TargetCounts(spec.N); err != nil {
 		return fmt.Errorf("%w: n=%d k=%d: %v", ErrInvalidSpec, spec.N, spec.K, err)
+	}
+	// BatchSize is a mode selector of the batched engine only; on any
+	// other engine a non-zero value would silently change the spec's
+	// content hash without changing the run. n is positive here (the
+	// TargetCounts check passed), so the conversion is safe.
+	if spec.BatchSize != 0 {
+		if spec.Engine != EngineBatch {
+			return fmt.Errorf("%w: batch size %d set for engine %s (only engine batch batches)",
+				ErrInvalidSpec, spec.BatchSize, spec.Engine)
+		}
+		if 2*spec.BatchSize > uint64(spec.N) {
+			return fmt.Errorf("%w: batch size %d needs 2·size <= n = %d (disjoint pairs)",
+				ErrInvalidSpec, spec.BatchSize, spec.N)
+		}
 	}
 	return nil
 }

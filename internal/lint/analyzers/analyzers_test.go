@@ -22,6 +22,17 @@ func TestRNGDisciplineGolden(t *testing.T) {
 	linttest.Run(t, "testdata/rngdiscipline", "repro/internal/foo", analyzers.RNGDiscipline)
 }
 
+// The batched count engine lives in internal/countsim, so its files are
+// inside both analyzers' enforcement scopes: wall-clock reads and stray
+// stdlib RNGs in batch code are lint errors, not style nits.
+func TestDeterminismBatchEngineGolden(t *testing.T) {
+	linttest.Run(t, "testdata/determinismbatch", "repro/internal/countsim", analyzers.Determinism)
+}
+
+func TestRNGDisciplineBatchEngineGolden(t *testing.T) {
+	linttest.Run(t, "testdata/rngdisciplinebatch", "repro/internal/countsim", analyzers.RNGDiscipline)
+}
+
 func TestMapOrderGolden(t *testing.T) {
 	linttest.Run(t, "testdata/maporder", "repro/internal/foo", analyzers.MapOrder)
 }
@@ -69,6 +80,24 @@ func TestDeterminismScopedToEnginePackages(t *testing.T) {
 // internal/rng is the one sanctioned home for stdlib randomness.
 func TestRNGDisciplineAllowsRngPackage(t *testing.T) {
 	diags := loadAs(t, "testdata/rngdiscipline", "repro/internal/rng", analyzers.RNGDiscipline)
+	if len(diags) != 0 {
+		t.Fatalf("rngdiscipline fired inside repro/internal/rng: %v", diags)
+	}
+}
+
+// The same batch-flavored wall-clock calls are legal in the harness
+// layer, which wraps the engines and owns timing.
+func TestDeterminismBatchScopedToEnginePackages(t *testing.T) {
+	diags := loadAs(t, "testdata/determinismbatch", "repro/internal/harness", analyzers.Determinism)
+	if len(diags) != 0 {
+		t.Fatalf("determinism fired outside its package scope: %v", diags)
+	}
+}
+
+// And the batch-flavored math/rand import is legal inside internal/rng
+// itself — that is where the samplers wrap the stdlib.
+func TestRNGDisciplineBatchAllowsRngPackage(t *testing.T) {
+	diags := loadAs(t, "testdata/rngdisciplinebatch", "repro/internal/rng", analyzers.RNGDiscipline)
 	if len(diags) != 0 {
 		t.Fatalf("rngdiscipline fired inside repro/internal/rng: %v", diags)
 	}

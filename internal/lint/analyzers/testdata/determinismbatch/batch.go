@@ -1,0 +1,37 @@
+// Golden input for the determinism analyzer over the batched count
+// engine; loaded under "repro/internal/countsim", where a batch
+// trajectory is replay identity — a pure function of (spec, seed) — so
+// the engine may not read the clock, not even to time its own batches.
+package countsim
+
+import "time"
+
+type fakeBatch struct {
+	batches uint64
+	started time.Time
+}
+
+func (b *fakeBatch) beginBatch() {
+	b.started = time.Now() // want `time\.Now in deterministic package`
+	b.batches++
+}
+
+func (b *fakeBatch) boundaryWall() time.Duration {
+	return time.Since(b.started) // want `time\.Since`
+}
+
+func (b *fakeBatch) throttleWindow() {
+	// Pacing a batch against the wall clock would make the drawn window
+	// sizes depend on machine load.
+	time.Sleep(time.Microsecond) // want `time\.Sleep`
+}
+
+func (b *fakeBatch) armDeadline() {
+	_ = time.NewTimer(time.Second) // want `time\.NewTimer`
+}
+
+// Pure arithmetic on caller-supplied durations is deterministic: the
+// harness layer owns the clock and hands results down.
+func okPerBatchBudget(total time.Duration, batches uint64) time.Duration {
+	return total / time.Duration(batches+1)
+}

@@ -1,0 +1,10 @@
+package countsim
+
+import "time"
+
+// Test files are exempt: the batch throughput benchmarks and the bench
+// regression gate time themselves without touching what a run computes.
+func helperBatchWall() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

@@ -1,0 +1,12 @@
+// Golden input for the rngdiscipline analyzer over the batched engine's
+// home package; loaded under "repro/internal/countsim". Every per-batch
+// draw (binomial windows, hypergeometric matchings) must come from the
+// seeded internal/rng streams; a stray stdlib generator is a second,
+// unseeded entropy source that breaks bit-for-bit replay.
+package countsim
+
+import "math/rand" // want `math/rand`
+
+func drawBatchWindow(remaining int64) int64 {
+	return rand.Int63n(remaining + 1)
+}

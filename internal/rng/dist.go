@@ -1,0 +1,340 @@
+package rng
+
+// This file provides exact integer-valued distribution samplers for the
+// batched count engine (internal/countsim/batch.go): Binomial,
+// Hypergeometric, and their vector forms Multinomial and
+// MultivariateHypergeometric.
+//
+// All scalar draws consume exactly one Float64 from the stream and invert
+// the CDF directly, so the consumed-stream length is a deterministic
+// function of the drawn value — a property the seed-stability tests rely
+// on. Two inversion strategies are used:
+//
+//   - Sequential inversion from the low end (Kachitvichyanukul & Schmeiser
+//     call this BINV): walk x = 0, 1, ... accumulating pmf mass via the
+//     ratio recurrence until the uniform is covered. O(mean) iterations and
+//     no Lgamma calls — the right tool when the mean is small, which is the
+//     common case for the per-cell conditional binomials of a multinomial
+//     chain.
+//   - Mode inversion: start at the distribution's mode (pmf evaluated once
+//     via math.Lgamma) and walk outward, alternating sides, again via the
+//     ratio recurrence. O(standard deviation) iterations, so huge means
+//     stay cheap.
+//
+// Both are exact inversions of the same CDF ordering — they differ only in
+// enumeration order of the support, which is part of the deterministic
+// contract (reordering enumeration would change sampled values for a given
+// seed, so the thresholds below are frozen constants, not tunables).
+import "math"
+
+// binvCutoff is the mean below which Binomial uses low-end sequential
+// inversion instead of mode inversion. Frozen: changing it changes the
+// support enumeration order and therefore the sampled stream.
+const binvCutoff = 32
+
+// poissonCutoff is the trial count above which Binomial switches to a
+// Poisson(np) draw. Two reasons, both kicking in at the same scale: the
+// Lgamma difference in lchoose cancels catastrophically once n's
+// magnitude eats the fraction bits (ulp(Lgamma(2⁴⁰)) is already ~1e-4),
+// and by Le Cam's inequality the approximation error is bounded in total
+// variation by p itself — which at n > 2⁴⁰ with any mean the samplers
+// ever request (≤ ~2²² in the batch engine) is below 4e-6. Frozen for the
+// same stream-stability reason as binvCutoff.
+const poissonCutoff int64 = 1 << 40
+
+// lchoose returns log C(n, k) for 0 <= k <= n via math.Lgamma.
+func lchoose(n, k int64) float64 {
+	ln, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return ln - lk - lnk
+}
+
+// Binomial returns a draw from Binomial(n, p): the number of successes in
+// n independent trials of probability p. It consumes exactly one Float64.
+// n <= 0 or p <= 0 returns 0; p >= 1 returns n.
+func (r *Rand) Binomial(n int64, p float64) int64 {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	// Work on the smaller tail so the walk length tracks min(p, 1-p).
+	flip := p > 0.5
+	if flip {
+		p = 1 - p
+	}
+	var x int64
+	switch {
+	case float64(n)*p < binvCutoff:
+		x = r.binomialLow(n, p)
+	case n > poissonCutoff:
+		x = r.poissonMode(float64(n) * p)
+		if x > n {
+			x = n
+		}
+	default:
+		x = r.binomialMode(n, p)
+	}
+	if flip {
+		return n - x
+	}
+	return x
+}
+
+// binomialLow inverts the CDF from x = 0 upward. Requires p in (0, 0.5].
+func (r *Rand) binomialLow(n int64, p float64) int64 {
+	u := r.Float64()
+	f := math.Exp(float64(n) * math.Log1p(-p)) // pmf(0) = (1-p)^n
+	odds := p / (1 - p)
+	var x int64
+	for u > f && x < n && f > 0 {
+		// f > 0 guards float exhaustion: once the pmf underflows past the
+		// representable range no further mass can cover u, and without the
+		// guard the walk would crawl to n one step at a time.
+		u -= f
+		x++
+		// pmf(x) = pmf(x-1) · (n-x+1)/x · p/(1-p)
+		f *= float64(n-x+1) / float64(x) * odds
+	}
+	return x
+}
+
+// binomialMode inverts the CDF outward from the mode ⌊(n+1)p⌋.
+func (r *Rand) binomialMode(n int64, p float64) int64 {
+	mode := int64(math.Floor(float64(n+1) * p))
+	if mode > n {
+		mode = n
+	}
+	lpmf := lchoose(n, mode) + float64(mode)*math.Log(p) +
+		float64(n-mode)*math.Log1p(-p)
+	fm := math.Exp(lpmf)
+	odds := p / (1 - p)
+	u := r.Float64()
+	if u <= fm {
+		return mode
+	}
+	u -= fm
+	lo, hi := mode, mode
+	flo, fhi := fm, fm
+	for {
+		// A side is exhausted when it hits its support bound or its pmf
+		// underflows to zero — past ~40 standard deviations no further mass
+		// is representable, and without the underflow check the walk would
+		// crawl an astronomically wide support to its end. When both sides
+		// are exhausted the remaining u is accumulated float residue; the
+		// mode is the max-probability answer.
+		up := hi < n && fhi > 0
+		down := lo > 0 && flo > 0
+		if !up && !down {
+			return mode
+		}
+		if up {
+			// pmf(hi+1)/pmf(hi) = (n-hi)/(hi+1) · odds
+			fhi *= float64(n-hi) / float64(hi+1) * odds
+			hi++
+			if u <= fhi {
+				return hi
+			}
+			u -= fhi
+		}
+		if down {
+			// pmf(lo-1)/pmf(lo) = lo / ((n-lo+1) · odds)
+			flo *= float64(lo) / (float64(n-lo+1) * odds)
+			lo--
+			if u <= flo {
+				return lo
+			}
+			u -= flo
+		}
+	}
+}
+
+// poissonMode draws Poisson(lambda) by mode inversion. Only reached via
+// Binomial's poissonCutoff branch, so lambda is large enough that the
+// upward walk is O(√lambda); the pmf at the mode is cancellation-free
+// (-λ + k·lnλ - Lgamma(k+1) keeps every term near the same magnitude).
+func (r *Rand) poissonMode(lambda float64) int64 {
+	mode := int64(math.Floor(lambda))
+	lg, _ := math.Lgamma(float64(mode + 1))
+	fm := math.Exp(-lambda + float64(mode)*math.Log(lambda) - lg)
+	u := r.Float64()
+	if u <= fm {
+		return mode
+	}
+	u -= fm
+	lo, hi := mode, mode
+	flo, fhi := fm, fm
+	for {
+		up := fhi > 0
+		down := lo > 0 && flo > 0
+		if !up && !down {
+			return mode // both sides exhausted; see binomialMode
+		}
+		if up {
+			// pmf(hi+1)/pmf(hi) = lambda/(hi+1)
+			fhi *= lambda / float64(hi+1)
+			hi++
+			if u <= fhi {
+				return hi
+			}
+			u -= fhi
+		}
+		if down {
+			// pmf(lo-1)/pmf(lo) = lo/lambda
+			flo *= float64(lo) / lambda
+			lo--
+			if u <= flo {
+				return lo
+			}
+			u -= flo
+		}
+	}
+}
+
+// Hypergeometric returns the number of "good" items among draws taken
+// without replacement from an urn of good + bad items. It consumes exactly
+// one Float64 (zero when the support is a single point). It panics if any
+// argument is negative or draws > good + bad.
+func (r *Rand) Hypergeometric(draws, good, bad int64) int64 {
+	if draws < 0 || good < 0 || bad < 0 {
+		panic("rng: Hypergeometric with negative argument")
+	}
+	if draws > good+bad {
+		panic("rng: Hypergeometric draws exceed population")
+	}
+	lo := draws - bad // support lower bound, before clamping at 0
+	if lo < 0 {
+		lo = 0
+	}
+	hi := draws
+	if hi > good {
+		hi = good
+	}
+	if lo == hi {
+		return lo
+	}
+	// Mode of the hypergeometric: ⌊(draws+1)(good+1)/(good+bad+2)⌋.
+	mode := int64(math.Floor(float64(draws+1) * float64(good+1) /
+		float64(good+bad+2)))
+	if mode < lo {
+		mode = lo
+	}
+	if mode > hi {
+		mode = hi
+	}
+	lpmf := lchoose(good, mode) + lchoose(bad, draws-mode) -
+		lchoose(good+bad, draws)
+	fm := math.Exp(lpmf)
+	u := r.Float64()
+	if u <= fm {
+		return mode
+	}
+	u -= fm
+	l, h := mode, mode
+	fl, fh := fm, fm
+	for {
+		up := h < hi && fh > 0
+		down := l > lo && fl > 0
+		if !up && !down {
+			return mode // both sides exhausted; see binomialMode
+		}
+		if up {
+			// pmf(h+1)/pmf(h) = (good-h)(draws-h) / ((h+1)(bad-draws+h+1))
+			fh *= float64(good-h) * float64(draws-h) /
+				(float64(h+1) * float64(bad-draws+h+1))
+			h++
+			if u <= fh {
+				return h
+			}
+			u -= fh
+		}
+		if down {
+			// pmf(l-1)/pmf(l) = l(bad-draws+l) / ((good-l+1)(draws-l+1))
+			fl *= float64(l) * float64(bad-draws+l) /
+				(float64(good-l+1) * float64(draws-l+1))
+			l--
+			if u <= fl {
+				return l
+			}
+			u -= fl
+		}
+	}
+}
+
+// Multinomial distributes total draws over len(weights) cells with
+// probabilities proportional to weights, writing the per-cell counts into
+// out (which must have the same length). It uses the conditional-binomial
+// chain, so cells are filled in index order and the stream consumption per
+// cell is one Float64 (zero for forced cells). The out entries always sum
+// to total exactly. It panics on negative weights or if total > 0 while
+// all weights are zero.
+func (r *Rand) Multinomial(total int64, weights []int64, out []int64) {
+	if len(out) != len(weights) {
+		panic("rng: Multinomial out length mismatch")
+	}
+	var wsum int64
+	for _, w := range weights {
+		if w < 0 {
+			panic("rng: Multinomial negative weight")
+		}
+		wsum += w
+	}
+	if total > 0 && wsum == 0 {
+		panic("rng: Multinomial positive total with zero weight")
+	}
+	rem := total
+	for i, w := range weights {
+		if rem == 0 || w == 0 {
+			out[i] = 0
+			wsum -= w
+			continue
+		}
+		if w == wsum {
+			// Last cell with remaining weight takes the exact remainder;
+			// going through float probabilities here could leak a draw.
+			out[i] = rem
+			rem = 0
+			wsum = 0
+			continue
+		}
+		x := r.Binomial(rem, float64(w)/float64(wsum))
+		out[i] = x
+		rem -= x
+		wsum -= w
+	}
+}
+
+// MultivariateHypergeometric draws `draws` items without replacement from a
+// population partitioned into len(counts) classes and writes the per-class
+// draw counts into out (same length). Classes are filled in index order via
+// the conditional-hypergeometric chain; the out entries always sum to draws
+// exactly (the support bounds of each conditional force completion). It
+// panics on negative counts or if draws exceeds the population.
+func (r *Rand) MultivariateHypergeometric(draws int64, counts []int64, out []int64) {
+	if len(out) != len(counts) {
+		panic("rng: MultivariateHypergeometric out length mismatch")
+	}
+	var total int64
+	for _, c := range counts {
+		if c < 0 {
+			panic("rng: MultivariateHypergeometric negative count")
+		}
+		total += c
+	}
+	if draws > total {
+		panic("rng: MultivariateHypergeometric draws exceed population")
+	}
+	rem := draws
+	for i, c := range counts {
+		total -= c
+		if rem == 0 || c == 0 {
+			out[i] = 0
+			continue
+		}
+		x := r.Hypergeometric(rem, c, total)
+		out[i] = x
+		rem -= x
+	}
+}

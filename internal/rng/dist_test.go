@@ -1,0 +1,342 @@
+package rng
+
+// Statistical verification of the distribution samplers. Every test runs
+// under a fixed seed, so the chi-square gates pass or fail
+// deterministically: a failure means the sampler (or an edit to its
+// frozen enumeration constants) changed the law, not that CI rolled an
+// unlucky stream. The 99.9% critical values leave the pinned streams
+// comfortable margin.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// binomialPMF returns the exact Binomial(n, p) pmf over 0..n.
+func binomialPMF(n int64, p float64) []float64 {
+	pmf := make([]float64, n+1)
+	for k := int64(0); k <= n; k++ {
+		pmf[k] = math.Exp(lchoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p))
+	}
+	return pmf
+}
+
+// hyperPMF returns the exact hypergeometric pmf over 0..draws (zero
+// outside the support).
+func hyperPMF(draws, good, bad int64) []float64 {
+	pmf := make([]float64, draws+1)
+	for k := int64(0); k <= draws; k++ {
+		if k > good || draws-k > bad {
+			continue
+		}
+		pmf[k] = math.Exp(lchoose(good, k) + lchoose(bad, draws-k) - lchoose(good+bad, draws))
+	}
+	return pmf
+}
+
+// poissonPMF returns the Poisson(lambda) pmf over 0..max.
+func poissonPMF(lambda float64, max int64) []float64 {
+	pmf := make([]float64, max+1)
+	for k := int64(0); k <= max; k++ {
+		lg, _ := math.Lgamma(float64(k + 1))
+		pmf[k] = math.Exp(-lambda + float64(k)*math.Log(lambda) - lg)
+	}
+	return pmf
+}
+
+// checkChiSquare draws `draws` samples, bins them against pmf (values past
+// the pmf's support pool into the last cell), pools low-expectation cells
+// into their neighbors, and fails if the statistic exceeds the 99.9%
+// critical value.
+func checkChiSquare(t *testing.T, name string, pmf []float64, draws int, sample func() int64) {
+	t.Helper()
+	obs := make([]float64, len(pmf))
+	for i := 0; i < draws; i++ {
+		x := sample()
+		if x < 0 {
+			t.Fatalf("%s: negative draw %d", name, x)
+		}
+		if x >= int64(len(obs)) {
+			x = int64(len(obs)) - 1
+		}
+		obs[x]++
+	}
+	exp := make([]float64, len(pmf))
+	for i, p := range pmf {
+		exp[i] = p * float64(draws)
+	}
+	// Pool cells with expectation below 5 into a running remainder cell so
+	// the asymptotic chi-square approximation holds.
+	var pooledObs, pooledExp []float64
+	var ro, re float64
+	for i := range exp {
+		ro += obs[i]
+		re += exp[i]
+		if re >= 5 {
+			pooledObs = append(pooledObs, ro)
+			pooledExp = append(pooledExp, re)
+			ro, re = 0, 0
+		}
+	}
+	if re > 0 && len(pooledExp) > 0 {
+		pooledObs[len(pooledObs)-1] += ro
+		pooledExp[len(pooledExp)-1] += re
+	}
+	stat, used, err := stats.ChiSquare(pooledObs, pooledExp)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if used < 2 {
+		t.Fatalf("%s: only %d usable cells", name, used)
+	}
+	if crit := stats.ChiSquareCritical999(used - 1); stat > crit {
+		t.Errorf("%s: chi-square %.2f exceeds 99.9%% critical %.2f at df=%d", name, stat, crit, used-1)
+	}
+}
+
+func TestBinomialEdgeCases(t *testing.T) {
+	r := New(1)
+	if got := r.Binomial(0, 0.5); got != 0 {
+		t.Errorf("Binomial(0, .5) = %d", got)
+	}
+	if got := r.Binomial(10, 0); got != 0 {
+		t.Errorf("Binomial(10, 0) = %d", got)
+	}
+	if got := r.Binomial(10, 1); got != 10 {
+		t.Errorf("Binomial(10, 1) = %d", got)
+	}
+	if got := r.Binomial(10, -0.5); got != 0 {
+		t.Errorf("Binomial(10, -.5) = %d", got)
+	}
+	if got := r.Binomial(10, 1.5); got != 10 {
+		t.Errorf("Binomial(10, 1.5) = %d", got)
+	}
+}
+
+// Low-end inversion branch (mean < binvCutoff), both tails.
+func TestBinomialLowMatchesPMF(t *testing.T) {
+	r := New(0xb10)
+	checkChiSquare(t, "Binomial(10, 0.3)", binomialPMF(10, 0.3), 60_000,
+		func() int64 { return r.Binomial(10, 0.3) })
+	checkChiSquare(t, "Binomial(10, 0.7)", binomialPMF(10, 0.7), 60_000,
+		func() int64 { return r.Binomial(10, 0.7) })
+}
+
+// Mode-inversion branch (mean >= binvCutoff, n <= poissonCutoff).
+func TestBinomialModeMatchesPMF(t *testing.T) {
+	const n, p = 400, 0.25 // mean 100
+	r := New(0xb11)
+	checkChiSquare(t, "Binomial(400, 0.25)", binomialPMF(n, p), 60_000,
+		func() int64 { return r.Binomial(n, p) })
+}
+
+// Poisson branch (n > poissonCutoff): the sampler's law there IS
+// Poisson(np) — Le Cam bounds its distance to the true binomial by p,
+// which at this scale is ~2e-11 — so the fit is checked against Poisson.
+func TestBinomialPoissonBranchMatchesPMF(t *testing.T) {
+	const n = int64(1) << 41
+	lambda := 48.0
+	p := lambda / float64(n)
+	pmf := poissonPMF(lambda, 120)
+	r := New(0xb12)
+	checkChiSquare(t, "Binomial(2^41, 48/2^41)", pmf, 60_000,
+		func() int64 { return r.Binomial(n, p) })
+}
+
+func TestHypergeometricMatchesPMF(t *testing.T) {
+	const draws, good, bad = 10, 12, 18
+	r := New(0x49e)
+	checkChiSquare(t, "Hypergeometric(10;12,18)", hyperPMF(draws, good, bad), 60_000,
+		func() int64 { return r.Hypergeometric(draws, good, bad) })
+	// A wide case through the mode-walk guards.
+	checkChiSquare(t, "Hypergeometric(200;300,500)", hyperPMF(200, 300, 500), 40_000,
+		func() int64 { return r.Hypergeometric(200, 300, 500) })
+}
+
+func TestHypergeometricSupport(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 2000; i++ {
+		// Support forced from below: draws=8 with only bad=3 others.
+		if got := r.Hypergeometric(8, 7, 3); got < 5 || got > 7 {
+			t.Fatalf("draw %d outside support [5,7]", got)
+		}
+	}
+	if got := r.Hypergeometric(4, 4, 0); got != 4 {
+		t.Errorf("single-point support: got %d, want 4", got)
+	}
+	if got := r.Hypergeometric(0, 5, 5); got != 0 {
+		t.Errorf("zero draws: got %d", got)
+	}
+}
+
+func TestHypergeometricPanics(t *testing.T) {
+	for name, f := range map[string]func(*Rand){
+		"negative draws": func(r *Rand) { r.Hypergeometric(-1, 2, 2) },
+		"negative good":  func(r *Rand) { r.Hypergeometric(1, -2, 2) },
+		"over-draw":      func(r *Rand) { r.Hypergeometric(5, 2, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f(New(1))
+		}()
+	}
+}
+
+func TestMultinomialSumsExactly(t *testing.T) {
+	r := New(3)
+	weights := []int64{3, 0, 5, 1, 0, 11}
+	out := make([]int64, len(weights))
+	for i := 0; i < 5000; i++ {
+		total := int64(i % 97)
+		r.Multinomial(total, weights, out)
+		var sum int64
+		for j, v := range out {
+			if v < 0 {
+				t.Fatalf("negative cell %d", v)
+			}
+			if weights[j] == 0 && v != 0 {
+				t.Fatalf("zero-weight cell drew %d", v)
+			}
+			sum += v
+		}
+		if sum != total {
+			t.Fatalf("cells sum to %d, want %d", sum, total)
+		}
+	}
+}
+
+// The first cell of a multinomial is marginally Binomial(total, w0/wsum).
+func TestMultinomialMarginalMatchesPMF(t *testing.T) {
+	weights := []int64{3, 5, 2}
+	out := make([]int64, 3)
+	r := New(0x3a1)
+	checkChiSquare(t, "Multinomial marginal", binomialPMF(24, 0.3), 40_000,
+		func() int64 {
+			r.Multinomial(24, weights, out)
+			return out[0]
+		})
+}
+
+func TestMultinomialPanics(t *testing.T) {
+	for name, f := range map[string]func(*Rand){
+		"negative weight":   func(r *Rand) { r.Multinomial(3, []int64{1, -1}, make([]int64, 2)) },
+		"zero total weight": func(r *Rand) { r.Multinomial(3, []int64{0, 0}, make([]int64, 2)) },
+		"length mismatch":   func(r *Rand) { r.Multinomial(3, []int64{1, 1}, make([]int64, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f(New(1))
+		}()
+	}
+}
+
+func TestMultivariateHypergeometricSumsExactly(t *testing.T) {
+	r := New(4)
+	counts := []int64{4, 0, 9, 2, 7}
+	out := make([]int64, len(counts))
+	for i := 0; i < 5000; i++ {
+		draws := int64(i % 23)
+		r.MultivariateHypergeometric(draws, counts, out)
+		var sum int64
+		for j, v := range out {
+			if v < 0 || v > counts[j] {
+				t.Fatalf("cell %d drew %d of %d available", j, v, counts[j])
+			}
+			sum += v
+		}
+		if sum != draws {
+			t.Fatalf("cells sum to %d, want %d", sum, draws)
+		}
+	}
+}
+
+// The first class of an MVH draw is marginally Hypergeometric.
+func TestMultivariateHypergeometricMarginalMatchesPMF(t *testing.T) {
+	counts := []int64{12, 10, 8}
+	out := make([]int64, 3)
+	r := New(0x3a2)
+	checkChiSquare(t, "MVH marginal", hyperPMF(10, 12, 18), 40_000,
+		func() int64 {
+			r.MultivariateHypergeometric(10, counts, out)
+			return out[0]
+		})
+}
+
+func TestMultivariateHypergeometricPanics(t *testing.T) {
+	for name, f := range map[string]func(*Rand){
+		"negative count": func(r *Rand) { r.MultivariateHypergeometric(1, []int64{2, -1}, make([]int64, 2)) },
+		"over-draw":      func(r *Rand) { r.MultivariateHypergeometric(9, []int64{4, 4}, make([]int64, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f(New(1))
+		}()
+	}
+}
+
+// Every scalar draw consumes exactly one Float64 (zero for forced
+// outcomes), so the stream position after a draw is a pure function of
+// the call — the seed-stability contract of the batched engine.
+func TestScalarDrawsConsumeOneUniform(t *testing.T) {
+	cases := []struct {
+		name     string
+		uniforms int // uniforms the call must consume
+		draw     func(r *Rand)
+	}{
+		{"binomial low", 1, func(r *Rand) { r.Binomial(10, 0.3) }},
+		{"binomial mode", 1, func(r *Rand) { r.Binomial(400, 0.25) }},
+		{"binomial poisson", 1, func(r *Rand) { r.Binomial(int64(1)<<41, 48.0/float64(int64(1)<<41)) }},
+		{"binomial degenerate", 0, func(r *Rand) { r.Binomial(10, 0) }},
+		{"hypergeometric", 1, func(r *Rand) { r.Hypergeometric(10, 12, 18) }},
+		{"hypergeometric forced", 0, func(r *Rand) { r.Hypergeometric(4, 4, 0) }},
+	}
+	for _, c := range cases {
+		a, b := New(77), New(77)
+		c.draw(a)
+		for i := 0; i < c.uniforms; i++ {
+			b.Float64()
+		}
+		for i := 0; i < 8; i++ {
+			if x, y := a.Float64(), b.Float64(); x != y {
+				t.Errorf("%s: stream diverged at +%d (%v vs %v): draw consumed a different number of uniforms than documented",
+					c.name, i, x, y)
+				break
+			}
+		}
+	}
+}
+
+func TestDistDeterminism(t *testing.T) {
+	seq := func() []int64 {
+		r := New(0xd15)
+		out := make([]int64, 0, 64)
+		vec := make([]int64, 3)
+		for i := 0; i < 16; i++ {
+			out = append(out, r.Binomial(100, 0.4))
+			out = append(out, r.Hypergeometric(5, 9, 7))
+			r.Multinomial(12, []int64{2, 3, 4}, vec)
+			out = append(out, vec...)
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

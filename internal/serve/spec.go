@@ -16,7 +16,7 @@ import (
 
 // TrialRequest is the JSON body of POST /v1/trials: the wire form of a
 // harness.TrialSpec, with the engine spelled the way the binaries' flags
-// spell it ("agent" or "count").
+// spell it ("agent", "count" or "batch").
 type TrialRequest struct {
 	N               int    `json:"n"`
 	K               int    `json:"k"`
@@ -24,6 +24,7 @@ type TrialRequest struct {
 	MaxInteractions uint64 `json:"max_interactions,omitempty"`
 	Grouping        bool   `json:"grouping,omitempty"`
 	Engine          string `json:"engine,omitempty"`
+	BatchSize       uint64 `json:"batch_size,omitempty"`
 }
 
 // Spec validates the request and returns the trial spec it names.
@@ -40,6 +41,7 @@ func (r TrialRequest) Spec() (harness.TrialSpec, error) {
 		MaxInteractions: r.MaxInteractions,
 		Grouping:        r.Grouping,
 		Engine:          eng,
+		BatchSize:       r.BatchSize,
 	}
 	if err := harness.ValidateSpec(spec); err != nil {
 		return harness.TrialSpec{}, err
@@ -65,6 +67,7 @@ type SweepRequest struct {
 	MaxInteractions uint64 `json:"max_interactions,omitempty"`
 	Grouping        bool   `json:"grouping,omitempty"`
 	Engine          string `json:"engine,omitempty"`
+	BatchSize       uint64 `json:"batch_size,omitempty"`
 }
 
 // Sweep validates the request against maxTrials (<= 0 selects
@@ -89,6 +92,7 @@ func (r SweepRequest) Sweep(maxTrials int) (harness.SweepSpec, error) {
 		Grouping:        r.Grouping,
 		MaxInteractions: r.MaxInteractions,
 		Engine:          eng,
+		BatchSize:       r.BatchSize,
 	}
 	// Every trial of the point shares (n, k, engine), so validating the
 	// first spec validates them all.

@@ -162,6 +162,54 @@ func StudentT97_5(df int) float64 {
 	return table[lo]*(1-f) + table[hi]*f
 }
 
+// ChiSquare returns Pearson's goodness-of-fit statistic Σ(obs−exp)²/exp
+// over the cells, plus the cell count actually used. Cells with zero
+// expectation are skipped when their observation is also zero (impossible
+// outcomes that indeed never happened); a zero-expectation cell with a
+// positive observation is an error — the model assigned probability zero
+// to something that occurred, and no statistic can soften that.
+//
+// The usual degrees of freedom for a fixed-total fit is used−1; callers
+// compare against ChiSquareCritical999 at that df.
+func ChiSquare(obs, exp []float64) (stat float64, used int, err error) {
+	if len(obs) != len(exp) {
+		return 0, 0, errors.New("stats: ChiSquare length mismatch")
+	}
+	for i := range obs {
+		if exp[i] <= 0 {
+			if obs[i] != 0 {
+				return 0, 0, errors.New("stats: observation in a zero-expectation cell")
+			}
+			continue
+		}
+		d := obs[i] - exp[i]
+		stat += d * d / exp[i]
+		used++
+	}
+	if used == 0 {
+		return 0, 0, ErrEmpty
+	}
+	return stat, used, nil
+}
+
+// ChiSquareCritical999 returns the 99.9% quantile of the chi-square
+// distribution with df degrees of freedom via the Wilson–Hilferty cube
+// approximation (exact to a fraction of a percent for df ≥ 3, slightly
+// conservative below). The statistical gates in the batched-engine tests
+// run under fixed seeds, so they pass or fail deterministically; the
+// 99.9% level documents how surprising the pinned draw sequence would
+// have to be before we call the sampler wrong rather than the seed
+// unlucky.
+func ChiSquareCritical999(df int) float64 {
+	if df < 1 {
+		return math.NaN()
+	}
+	const z = 3.090232 // Φ⁻¹(0.999)
+	d := float64(df)
+	t := 1 - 2/(9*d) + z*math.Sqrt(2/(9*d))
+	return d * t * t * t
+}
+
 // LinearFit fits y = a + b·x by least squares and returns (a, b, r²).
 type LinearFit struct {
 	Intercept float64
