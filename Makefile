@@ -44,13 +44,17 @@ test:
 # the engines the trials drive (countsim includes the batched engine and
 # its seed-stability trajectory test; rng the samplers it draws from),
 # and the HTTP serving layer (worker pool + admission queue + shared
-# LRU). -short skips the minutes-long statistical soaks (they run
+# LRU). The scenario layer (topology, fairness meters, the weak
+# adversary) is sequential by design but runs here too: its types are
+# shared across harness workers, so the race detector exercises that
+# sharing through the harness tests. -short skips the minutes-long
+# statistical soaks (they run
 # race-free under `test`); the concurrency surface is fully covered
 # either way.
 race:
 	$(GO) test -race -short ./internal/obs ./internal/obs/span ./internal/harness \
 		./internal/sim ./internal/checkpoint ./internal/countsim ./internal/rng \
-		./internal/serve
+		./internal/serve ./internal/topology ./internal/fairness ./internal/sched
 
 # Short exploratory pass over every fuzz target (the plain corpora run
 # under `test`); a real campaign raises -fuzztime.

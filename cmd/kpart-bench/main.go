@@ -45,6 +45,13 @@ type benchPoint struct {
 	K      int    `json:"k"`
 	Engine string `json:"engine"`
 	Trials int    `json:"trials"`
+	// Scenario points only: how the trials ended. Scenario runs are
+	// allowed to freeze or stall (that is what they measure); the
+	// convergence split is part of the benchmark's identity, so a
+	// regression here is as real as a wall-time one.
+	Scenario  string `json:"scenario,omitempty"`
+	Converged int    `json:"converged,omitempty"`
+	Frozen    int    `json:"frozen,omitempty"`
 	// MeanInteractions is the paper's y-axis, interactions/run.
 	MeanInteractions float64 `json:"mean_interactions"`
 	// Wall-clock per trial, nanoseconds.
@@ -131,18 +138,37 @@ func main() {
 		n, k            int
 		engine          harness.Engine
 		maxInteractions uint64
+		topology        harness.TopologySpec
+		fairness        harness.Fairness
+		scenario        bool
 	}{
-		{"fig3/k=4/n=24", 24, 4, harness.EngineAgent, 0},
-		{"fig3/k=6/n=36", 36, 6, harness.EngineAgent, 0},
-		{"fig5/k=4/n=120", 120, 4, harness.EngineAgent, 0},
-		{"fig6/k=8/n=960", 960, 8, harness.EngineAgent, 0},
-		{"fig6-count/k=8/n=960", 960, 8, harness.EngineCount, 0},
-		{"fig6-count/k=12/n=960", 960, 12, harness.EngineCount, 0},
-		{"fig6-batch/k=8/n=960", 960, 8, harness.EngineBatch, 0},
-		{"scale-batch/k=8/n=1e8", 100_000_000, 8, harness.EngineBatch, 1 << 62},
+		{name: "fig3/k=4/n=24", n: 24, k: 4, engine: harness.EngineAgent},
+		{name: "fig3/k=6/n=36", n: 36, k: 6, engine: harness.EngineAgent},
+		{name: "fig5/k=4/n=120", n: 120, k: 4, engine: harness.EngineAgent},
+		{name: "fig6/k=8/n=960", n: 960, k: 8, engine: harness.EngineAgent},
+		{name: "fig6-count/k=8/n=960", n: 960, k: 8, engine: harness.EngineCount},
+		{name: "fig6-count/k=12/n=960", n: 960, k: 12, engine: harness.EngineCount},
+		{name: "fig6-batch/k=8/n=960", n: 960, k: 8, engine: harness.EngineBatch},
+		{name: "scale-batch/k=8/n=1e8", n: 100_000_000, k: 8, engine: harness.EngineBatch, maxInteractions: 1 << 62},
+		// Scenario points measure the scenario seam's overhead, not
+		// convergence speed: the ring point runs the edge scheduler plus
+		// the orbit-closure freeze detector to its (usually frozen) end;
+		// the weak point drives the adversary a fixed 500k interactions
+		// (it stalls by design, so wall/interaction is the metric).
+		{name: "scenario-ring/k=3/n=60", n: 60, k: 3, engine: harness.EngineAgent,
+			maxInteractions: 5_000_000, topology: harness.TopologySpec{Kind: harness.TopologyRing}, scenario: true},
+		{name: "scenario-weak/k=3/n=12", n: 12, k: 3, engine: harness.EngineAgent,
+			maxInteractions: 500_000, fairness: harness.FairnessWeak, scenario: true},
 	}
 	for _, s := range suite {
-		pt, err := runPoint(ctx, opts, s.name, s.n, s.k, s.engine, s.maxInteractions, *trials)
+		base := harness.TrialSpec{
+			N: s.n, K: s.k,
+			Engine:          s.engine,
+			MaxInteractions: s.maxInteractions,
+			Topology:        s.topology,
+			Fairness:        s.fairness,
+		}
+		pt, err := runPoint(ctx, opts, s.name, base, *trials, s.scenario)
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
 				fmt.Fprintf(os.Stderr, "kpart-bench: interrupted; completed trials saved in %s — rerun with -resume to continue\n", journalPath)
@@ -171,19 +197,20 @@ func main() {
 
 // runPoint executes trials at one point and aggregates wall times and
 // interaction counts. Journaled trials (a -resume run) contribute their
-// recorded wall times instead of being re-measured.
-func runPoint(ctx context.Context, opts harness.RunOptions, name string, n, k int, engine harness.Engine, maxInteractions uint64, trials int) (benchPoint, error) {
-	pt := benchPoint{Name: name, N: n, K: k, Engine: engine.String(), Trials: trials}
+// recorded wall times instead of being re-measured. Scenario points
+// tolerate unconverged trials (freezes and stalls are their workload);
+// for everything else a failure to stabilize aborts the suite.
+func runPoint(ctx context.Context, opts harness.RunOptions, name string, base harness.TrialSpec, trials int, scenarioPoint bool) (benchPoint, error) {
+	pt := benchPoint{Name: name, N: base.N, K: base.K, Engine: base.Engine.String(), Trials: trials}
+	if scenarioPoint {
+		pt.Scenario = fmt.Sprintf("topology=%s fairness=%s", base.Topology, base.Fairness)
+	}
 	var wallNS, interactions []float64
 	var totalI uint64
 	var totalWall time.Duration
 	for t := 0; t < trials; t++ {
-		spec := harness.TrialSpec{
-			N: n, K: k,
-			Seed:            rng.StreamSeed(0xbe9c4, uint64(n), uint64(k), uint64(t)),
-			Engine:          engine,
-			MaxInteractions: maxInteractions,
-		}
+		spec := base
+		spec.Seed = rng.StreamSeed(0xbe9c4, uint64(base.N), uint64(base.K), uint64(t))
 		var res harness.TrialResult
 		var wall time.Duration
 		if e, ok := opts.Journal.Lookup(spec); ok {
@@ -200,7 +227,14 @@ func runPoint(ctx context.Context, opts harness.RunOptions, name string, n, k in
 				return pt, err
 			}
 		}
-		if !res.Converged {
+		if scenarioPoint {
+			if res.Converged {
+				pt.Converged++
+			}
+			if res.Frozen {
+				pt.Frozen++
+			}
+		} else if !res.Converged {
 			return pt, fmt.Errorf("%s trial %d did not stabilize", name, t)
 		}
 		wallNS = append(wallNS, float64(wall.Nanoseconds()))

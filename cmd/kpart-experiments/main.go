@@ -39,7 +39,7 @@ import (
 
 func main() {
 	var (
-		fig          = flag.String("fig", "all", "which figure to run: 3, 4, 5, 6, or all")
+		fig          = flag.String("fig", "all", "which figure to run: 3, 4, 5, 6, or all; auxiliary experiments: traj, scenarios (topology × fairness), churn (crash survival)")
 		trials       = flag.Int("trials", harness.DefaultTrials, "trials per parameter point")
 		seed         = flag.Uint64("seed", harness.DefaultSeed, "root seed")
 		outDir       = flag.String("out", "results", "directory for CSV output")
@@ -183,6 +183,50 @@ func main() {
 	})
 	run("6", func(ctx context.Context, o harness.RunOptions) error {
 		return fig6(ctx, o, *trials, *seed, *outDir, *workers, *fig6max, eng)
+	})
+	// Auxiliary experiments are opt-in (exact -fig match, never part of
+	// "all"): they chart behavior outside the paper's model, with the
+	// same journal/resume plumbing as the figures.
+	runAux := func(name string, f func(ctx context.Context, opts harness.RunOptions) error) {
+		if *fig != name {
+			return
+		}
+		start := time.Now()
+		fmt.Printf("=== %s (auxiliary) ===\n", name)
+		j, err := openJournal(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kpart-experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *resume && j.Len() > 0 {
+			fmt.Printf("(resuming: %d trials already journaled in %s)\n", j.Len(), j.Path())
+		}
+		auxOpts := opts
+		auxOpts.Journal = j
+		err = f(ctx, auxOpts)
+		if cerr := j.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "kpart-experiments: closing journal %s: %v\n", j.Path(), cerr)
+			if err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "kpart-experiments: %s interrupted; completed trials saved in %s\n", name, j.Path())
+				fmt.Fprintf(os.Stderr, "kpart-experiments: rerun the same command with -resume to continue\n")
+				flushMetrics()
+				os.Exit(130)
+			}
+			fmt.Fprintf(os.Stderr, "kpart-experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s done in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	runAux("scenarios", func(ctx context.Context, o harness.RunOptions) error {
+		return scenariosExp(ctx, o, *trials, *seed, *outDir, *workers)
+	})
+	runAux("churn", func(ctx context.Context, o harness.RunOptions) error {
+		return churnExp(ctx, o, *trials, *seed, *outDir, *workers)
 	})
 	flushMetrics()
 	if *fig == "traj" {

@@ -1,0 +1,161 @@
+package main
+
+// Scenario experiments: auxiliary sweeps (requested with -fig scenarios
+// and -fig churn, like -fig traj) that chart the protocol's behavior
+// OUTSIDE the paper's model — restricted interaction graphs, the
+// weak-fairness adversary, and population churn. The paper proves
+// convergence for the complete graph under global fairness; these
+// sweeps measure how fast each relaxation of that model breaks the
+// protocol, with internal/explore model-checking the small cases.
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/report"
+	"repro/internal/rng"
+)
+
+// scenarioCombo is one cell of the topology × fairness grid.
+type scenarioCombo struct {
+	label string
+	topo  harness.TopologySpec
+	fair  harness.Fairness
+}
+
+// scenariosExp sweeps topology × fairness at a fixed (n, k) and tallies
+// outcomes: converged, frozen (the detector proved no productive
+// interaction can change a group again), or capped (the run burned the
+// interaction budget — the weak adversary's stall shows up here).
+func scenariosExp(ctx context.Context, opts harness.RunOptions, trials int, seed uint64, outDir string, workers int) error {
+	const (
+		n    = 12
+		k    = 3
+		capI = 1_000_000
+	)
+	combos := []scenarioCombo{
+		{"complete/uniform", harness.TopologySpec{}, harness.FairnessUniform},
+		{"complete/weak", harness.TopologySpec{}, harness.FairnessWeak},
+		{"ring/uniform", harness.TopologySpec{Kind: harness.TopologyRing}, harness.FairnessUniform},
+		{"ring/weak", harness.TopologySpec{Kind: harness.TopologyRing}, harness.FairnessWeak},
+		{"star/uniform", harness.TopologySpec{Kind: harness.TopologyStar}, harness.FairnessUniform},
+		{"grid/uniform", harness.TopologySpec{Kind: harness.TopologyGrid, Rows: 3, Cols: 4}, harness.FairnessUniform},
+		{"regular3/uniform", harness.TopologySpec{Kind: harness.TopologyRegular, Degree: 3, GraphSeed: 1}, harness.FairnessUniform},
+	}
+	var specs []harness.TrialSpec
+	for ci, c := range combos {
+		for t := 0; t < trials; t++ {
+			specs = append(specs, harness.TrialSpec{
+				N: n, K: k,
+				Seed:            rng.StreamSeed(seed, uint64(ci), uint64(t)),
+				MaxInteractions: capI,
+				Engine:          harness.EngineAgent,
+				Topology:        c.topo,
+				Fairness:        c.fair,
+			})
+		}
+	}
+	results, err := harness.RunManyCtx(ctx, specs, workers, opts)
+	if err != nil {
+		return err
+	}
+
+	tbl := report.NewTable("scenario", "trials", "converged", "frozen", "capped", "mean_interactions")
+	csv := report.NewTable("scenario", "topology", "fairness", "trials", "converged", "frozen", "capped", "mean_interactions")
+	for ci, c := range combos {
+		var converged, frozen int
+		var sumI uint64
+		for t := 0; t < trials; t++ {
+			r := results[ci*trials+t]
+			if r.Converged {
+				converged++
+			}
+			if r.Frozen {
+				frozen++
+			}
+			sumI += r.Interactions
+		}
+		capped := trials - converged - frozen
+		meanI := float64(sumI) / float64(trials)
+		tbl.AddRow(c.label, trials, converged, frozen, capped, meanI)
+		csv.AddRow(c.label, c.topo.String(), c.fair.String(), trials, converged, frozen, capped, meanI)
+	}
+	fmt.Printf("topology × fairness at n=%d k=%d (cap %d interactions/trial)\n", n, k, capI)
+	tbl.WriteTo(os.Stdout)
+	fmt.Println("capped = burned the budget without converging or freezing (the weak adversary's stall)")
+	path, err := harness.WriteCSVFile(outDir, "scenarios.csv", csv)
+	if err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}
+
+// churnExp charts a survival curve: fraction of trials that still reach
+// the uniform partition as the number of crash events grows. Crashes
+// remove agents without warning; once the surviving population's
+// committed groups can no longer be rebalanced, the run freezes — the
+// protocol is not self-stabilizing (a documented finding, not a bug).
+func churnExp(ctx context.Context, opts harness.RunOptions, trials int, seed uint64, outDir string, workers int) error {
+	const (
+		n    = 30
+		k    = 3
+		capI = 5_000_000
+	)
+	events := []int{0, 1, 2, 3, 4}
+	var specs []harness.TrialSpec
+	for ei, e := range events {
+		for t := 0; t < trials; t++ {
+			spec := harness.TrialSpec{
+				N: n, K: k,
+				Seed:            rng.StreamSeed(seed, uint64(ei), uint64(t)),
+				MaxInteractions: capI,
+				Engine:          harness.EngineAgent,
+			}
+			if e > 0 {
+				spec.Churn = harness.ChurnSpec{
+					At: 2000, Interval: 2000, Events: e, Leaves: 1, Crash: true,
+				}
+			}
+			specs = append(specs, spec)
+		}
+	}
+	results, err := harness.RunManyCtx(ctx, specs, workers, opts)
+	if err != nil {
+		return err
+	}
+
+	tbl := report.NewTable("crash_events", "final_n", "trials", "converged", "frozen", "survival")
+	chart := &report.LineChart{
+		Title:  fmt.Sprintf("Churn survival: fraction converged vs crash events (n=%d, k=%d)", n, k),
+		XLabel: "crash events", YLabel: "survival",
+	}
+	series := report.Series{Name: "survival"}
+	for ei, e := range events {
+		var converged, frozen int
+		for t := 0; t < trials; t++ {
+			r := results[ei*trials+t]
+			if r.Converged {
+				converged++
+			}
+			if r.Frozen {
+				frozen++
+			}
+		}
+		survival := float64(converged) / float64(trials)
+		tbl.AddRow(e, n-e, trials, converged, frozen, survival)
+		series.X = append(series.X, float64(e))
+		series.Y = append(series.Y, survival)
+	}
+	chart.Series = []report.Series{series}
+	fmt.Print(chart.String())
+	tbl.WriteTo(os.Stdout)
+	path, err := harness.WriteCSVFile(outDir, "churn.csv", tbl)
+	if err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}

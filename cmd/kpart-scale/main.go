@@ -13,6 +13,19 @@
 //	kpart-scale -n 10000000 -k 8 -journal scale.journal -trial-timeout 2h -retries 1
 //	kpart-scale -n 10000000 -k 8 -journal scale.journal -resume   # after a crash/SIGINT
 //
+// Scenario runs (restricted topologies, the weak-fairness adversary,
+// churn) use the agent engine — identities matter on a graph — so they
+// do not reach count-engine scales, but they reuse the same journal,
+// resume, and JSON plumbing:
+//
+//	kpart-scale -n 600 -k 3 -topology ring -trials 20      # freeze-rate survey
+//	kpart-scale -n 12 -k 3 -fairness weak -max 1000000     # adversary stall probe
+//	kpart-scale -n 600 -k 3 -churn at=5000,events=3,every=5000,leave=2,crash
+//
+// Scenario trials may legitimately not converge (frozen configurations,
+// adversarial stalls); they are reported per-outcome instead of
+// aborting the run.
+//
 // Wall time is reported per trial as min/median/p90/max (the
 // stabilization-time distribution is heavy-tailed, so a mean alone
 // misleads); -json writes the full per-trial data machine-readably.
@@ -52,6 +65,11 @@ type trialRecord struct {
 	WallMS       float64 `json:"wall_ms"`
 	Resumed      bool    `json:"resumed,omitempty"`
 	Attempts     int     `json:"attempts,omitempty"`
+	// Scenario outcome fields: scenario trials may end frozen (or burn
+	// the cap) instead of converging, and churn changes the final size.
+	Converged bool `json:"converged,omitempty"`
+	Frozen    bool `json:"frozen,omitempty"`
+	FinalN    int  `json:"final_n,omitempty"`
 }
 
 // pointDoc aggregates one (n, k) point in the JSON output.
@@ -63,6 +81,8 @@ type pointDoc struct {
 	CI95             float64       `json:"ci95"`
 	MeanProductive   float64       `json:"mean_productive"`
 	SkipFactor       float64       `json:"skip_factor"`
+	Converged        int           `json:"converged,omitempty"`
+	Frozen           int           `json:"frozen,omitempty"`
 	WallMS           wallSummary   `json:"wall_ms"`
 	PerTrial         []trialRecord `json:"per_trial"`
 }
@@ -98,8 +118,12 @@ func main() {
 		resume       = flag.Bool("resume", false, "resume from -journal, skipping already-completed trials")
 		trialTimeout = flag.Duration("trial-timeout", 0, "per-trial wall deadline (0 = none); timed-out trials retry under derived seeds")
 		retries      = flag.Int("retries", 0, "extra attempts for transiently failed trials")
-		engineFlag   = flag.String("engine", "count", "count engine: count (sequential, exact distribution) or batch (aggregated batches, approximate interaction totals, fastest)")
+		engineFlag   = flag.String("engine", "count", "count engine: count (sequential, exact distribution) or batch (aggregated batches, approximate interaction totals, fastest); scenario flags switch to agent")
 		batchSize    = flag.Uint64("batch", 0, "batch engine: fixed matching size per batch (0 = adaptive aggregate mode)")
+		topoFlag     = flag.String("topology", "", "interaction graph: complete (default), ring, star, grid:RxC, regular:D[@SEED]")
+		fairFlag     = flag.String("fairness", "", "scheduler family: uniform (default) or weak (adversary)")
+		churnFlag    = flag.String("churn", "", "join/leave schedule, e.g. at=5000,events=2,every=5000,leave=1,crash")
+		maxIFlag     = flag.Uint64("max", 0, "interaction cap per trial (0 = unbounded; scenario runs default to 50M)")
 	)
 	flag.Parse()
 
@@ -107,11 +131,44 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if eng == harness.EngineAgent {
-		fatal(errors.New("kpart-scale is count-based; -engine must be count or batch"))
+	topo, err := harness.ParseTopology(*topoFlag)
+	if err != nil {
+		fatal(err)
+	}
+	fair, err := harness.ParseFairness(*fairFlag)
+	if err != nil {
+		fatal(err)
+	}
+	churn, err := harness.ParseChurn(*churnFlag)
+	if err != nil {
+		fatal(err)
+	}
+	// Scenario dimensions need agent identities, so they flip the default
+	// engine to agent; an explicit -engine count/batch is then an error
+	// rather than a silent override.
+	scenario := !topo.IsComplete() || fair == harness.FairnessWeak || churn.Enabled()
+	engineSet := false
+	flag.Visit(func(f *flag.Flag) { engineSet = engineSet || f.Name == "engine" })
+	if scenario {
+		if engineSet && eng != harness.EngineAgent {
+			fatal(fmt.Errorf("-topology/-fairness/-churn need the agent engine, not %s", eng))
+		}
+		eng = harness.EngineAgent
+	} else if eng == harness.EngineAgent {
+		fatal(errors.New("kpart-scale is count-based; -engine must be count or batch (agent is only for scenario runs)"))
 	}
 	if *batchSize != 0 && eng != harness.EngineBatch {
 		fatal(errors.New("-batch requires -engine batch"))
+	}
+	maxI := *maxIFlag
+	if maxI == 0 {
+		maxI = 1 << 62
+		if scenario {
+			// Scenario trials can stall forever by design (adversaries,
+			// trapped configurations the freeze detector cannot prove), so
+			// an unbounded default would hang the survey.
+			maxI = 50_000_000
+		}
 	}
 
 	if *debugAddr != "" {
@@ -148,8 +205,8 @@ func main() {
 		fatal(errors.New("-resume requires -journal"))
 	}
 	if *journalPath != "" {
-		meta := fmt.Sprintf("kpart-scale n=%d k=%s trials=%d seed=%d engine=%s batch=%d",
-			*n, *ksFlag, *trials, *seed, eng, *batchSize)
+		meta := fmt.Sprintf("kpart-scale n=%d k=%s trials=%d seed=%d engine=%s batch=%d topo=%s fair=%s churn=%s max=%d",
+			*n, *ksFlag, *trials, *seed, eng, *batchSize, topo, fair, churn, maxI)
 		var err error
 		if *resume {
 			j, err = harness.OpenJournal(*journalPath, meta)
@@ -170,8 +227,12 @@ func main() {
 		Seed:      *seed,
 		CreatedAt: time.Now().UTC().Format(time.RFC3339),
 	}
-	tbl := report.NewTable("n", "k", "trials", "mean_interactions", "ci95",
-		"mean_productive", "skip_factor", "wall_min", "wall_median", "wall_p90", "wall_max")
+	cols := []string{"n", "k", "trials", "mean_interactions", "ci95",
+		"mean_productive", "skip_factor", "wall_min", "wall_median", "wall_p90", "wall_max"}
+	if scenario {
+		cols = append(cols, "converged", "frozen")
+	}
+	tbl := report.NewTable(cols...)
 	for ki, k := range ks {
 		var xs, wallMS []float64
 		var productive, interactions uint64
@@ -180,9 +241,12 @@ func main() {
 			spec := harness.TrialSpec{
 				N: *n, K: k,
 				Seed:            rng.StreamSeed(*seed, uint64(ki), uint64(t)),
-				MaxInteractions: 1 << 62,
+				MaxInteractions: maxI,
 				Engine:          eng,
 				BatchSize:       *batchSize,
+				Topology:        topo,
+				Fairness:        fair,
+				Churn:           churn,
 			}
 			var res harness.TrialResult
 			var wall time.Duration
@@ -203,7 +267,7 @@ func main() {
 					}
 					fatal(err)
 				}
-				if !r.Converged {
+				if !r.Converged && !scenario {
 					fatal(fmt.Errorf("n=%d k=%d trial %d did not stabilize", *n, k, t))
 				}
 				res = r
@@ -217,12 +281,25 @@ func main() {
 			wallMS = append(wallMS, float64(wall)/float64(time.Millisecond))
 			interactions += res.Interactions
 			productive += res.Productive
-			pt.PerTrial = append(pt.PerTrial, trialRecord{
+			rec := trialRecord{
 				Trial: t, Seed: spec.Seed,
 				Interactions: res.Interactions, Productive: res.Productive,
 				WallMS:  float64(wall) / float64(time.Millisecond),
 				Resumed: resumed, Attempts: res.Attempts,
-			})
+			}
+			// Outcome fields only matter when trials can fail to converge;
+			// non-scenario runs abort on the first unconverged trial, so
+			// the fields would be constant noise there.
+			if scenario {
+				rec.Converged, rec.Frozen, rec.FinalN = res.Converged, res.Frozen, res.FinalN
+				if res.Converged {
+					pt.Converged++
+				}
+				if res.Frozen {
+					pt.Frozen++
+				}
+			}
+			pt.PerTrial = append(pt.PerTrial, rec)
 		}
 		pt.MeanInteractions = stats.Mean(xs)
 		pt.CI95 = stats.CI95(xs)
@@ -236,13 +313,20 @@ func main() {
 			Mean:   stats.Mean(wallMS),
 		}
 		doc.Points = append(doc.Points, pt)
-		tbl.AddRow(*n, k, *trials, pt.MeanInteractions, pt.CI95,
+		row := []any{*n, k, *trials, pt.MeanInteractions, pt.CI95,
 			pt.MeanProductive, pt.SkipFactor,
-			ms(pt.WallMS.Min), ms(pt.WallMS.Median), ms(pt.WallMS.P90), ms(pt.WallMS.Max))
+			ms(pt.WallMS.Min), ms(pt.WallMS.Median), ms(pt.WallMS.P90), ms(pt.WallMS.Max)}
+		if scenario {
+			row = append(row, pt.Converged, pt.Frozen)
+		}
+		tbl.AddRow(row...)
 	}
-	if eng == harness.EngineBatch {
+	switch {
+	case scenario:
+		fmt.Printf("agent engine, scenario: topology=%s fairness=%s churn=%s cap=%d\n", topo, fair, churn, maxI)
+	case eng == harness.EngineBatch:
 		fmt.Println("batched count engine (bulk sampled batches; interaction totals approximate in adaptive mode)")
-	} else {
+	default:
 		fmt.Println("count-based engine (exact distribution, null runs skipped geometrically)")
 	}
 	tbl.WriteTo(os.Stdout)

@@ -8,16 +8,26 @@
 //     invariant and stable-configuration signature
 //   - internal/protocol   — the population protocol model (states, δ, f)
 //   - internal/population — configurations and interactions
-//   - internal/sched      — random / sweep / hostile schedulers
+//   - internal/sched      — random / sweep / hostile / weak-adversary
+//     schedulers
 //   - internal/sim        — the simulation engine and stop conditions
-//   - internal/explore    — exhaustive model checking of Theorem 1
+//   - internal/explore    — exhaustive model checking of Theorem 1, on the
+//     complete graph and on restricted topologies
+//   - internal/topology   — restricted interaction graphs (ring, star,
+//     grid, random regular) and group-freeze detection
+//   - internal/fairness   — fairness metering of execution prefixes
 //   - internal/protocols  — bipartition, repeated bipartition, the interval
 //     baseline, R-generalized partition, classic protocols
-//   - internal/harness    — the Figure 3–6 experiment harness
+//   - internal/harness    — the Figure 3–6 experiment harness and the
+//     scenario model (topology × fairness × churn; see DESIGN.md §8)
 //
 // Binaries: cmd/kpart (single run), cmd/kpart-experiments (regenerate all
 // figures), cmd/kpart-verify (model checker), cmd/kpart-compare
-// (ablations). Runnable examples live in examples/.
+// (ablations), cmd/kpart-scale (large-n sweeps and scenario runs),
+// cmd/kpart-serve (the HTTP trial service), cmd/kpart-bench (the
+// regression-gated benchmark suite), cmd/kpart-lint (repo-specific static
+// analysis). Runnable examples live in examples/; examples/graphchurn
+// tours the scenario engine.
 //
 // The benchmarks in this package (bench_test.go) regenerate a
 // representative point of every figure of the paper's evaluation; the full

@@ -44,6 +44,7 @@ const (
 	LowerBetter
 )
 
+// String names the direction for rendered findings.
 func (d Direction) String() string {
 	switch d {
 	case HigherBetter:

@@ -159,70 +159,16 @@ func (g *Graph) Lookup(c Config) (int, bool) {
 
 // StableNodes computes the set of stable configurations: nodes whose whole
 // forward closure is frozen. Returned as a boolean mask over node ids.
+// (A node is unstable iff it can reach a non-frozen node; the shared
+// backward taint propagation lives in graph.go.)
 func (g *Graph) StableNodes() []bool {
-	// A node is unstable iff it can reach a non-frozen node. Propagate
-	// "tainted" backwards from non-frozen nodes over reversed edges.
-	n := len(g.Nodes)
-	pred := make([][]int, n)
-	for u, ss := range g.Succ {
-		for _, v := range ss {
-			pred[v] = append(pred[v], u)
-		}
-	}
-	tainted := make([]bool, n)
-	var stack []int
-	for i, f := range g.Frozen {
-		if !f {
-			tainted[i] = true
-			stack = append(stack, i)
-		}
-	}
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, u := range pred[v] {
-			if !tainted[u] {
-				tainted[u] = true
-				stack = append(stack, u)
-			}
-		}
-	}
-	stable := make([]bool, n)
-	for i := range stable {
-		stable[i] = !tainted[i]
-	}
-	return stable
+	return stableMask(g.Succ, g.Frozen)
 }
 
 // CanReach computes, for every node, whether it can reach some node in the
 // target mask (backward reachability over reversed edges).
 func (g *Graph) CanReach(target []bool) []bool {
-	n := len(g.Nodes)
-	pred := make([][]int, n)
-	for u, ss := range g.Succ {
-		for _, v := range ss {
-			pred[v] = append(pred[v], u)
-		}
-	}
-	ok := make([]bool, n)
-	var stack []int
-	for i, t := range target {
-		if t {
-			ok[i] = true
-			stack = append(stack, i)
-		}
-	}
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, u := range pred[v] {
-			if !ok[u] {
-				ok[u] = true
-				stack = append(stack, u)
-			}
-		}
-	}
-	return ok
+	return reachMask(g.Succ, target)
 }
 
 // Report summarizes a Check run.

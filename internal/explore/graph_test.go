@@ -1,0 +1,227 @@
+package explore
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/population"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func mustGraph(g *topology.Graph, err error) *topology.Graph {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func edgesOf(g *topology.Graph) [][2]int {
+	es := make([][2]int, 0, g.NumEdges())
+	for i := 0; i < g.NumEdges(); i++ {
+		u, v := g.Edge(i)
+		es = append(es, [2]int{u, v})
+	}
+	return es
+}
+
+// On the complete graph the vector checker must agree with Theorem 1
+// (and with the multiset checker, which is sound there): no reachable
+// configuration is trapped, and stable configurations exist.
+func TestCheckVectorCompleteMatchesTheorem(t *testing.T) {
+	for _, tc := range []struct{ k, n int }{{2, 4}, {2, 5}, {3, 5}, {3, 6}} {
+		p := core.MustNew(tc.k)
+		rep, err := CheckVector(p, tc.n, edgesOf(mustGraph(topology.Complete(tc.n))), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Trapped != 0 {
+			t.Errorf("k=%d n=%d complete: %d trapped configurations, want 0 (Theorem 1)", tc.k, tc.n, rep.Trapped)
+		}
+		if rep.StableUniform == 0 {
+			t.Errorf("k=%d n=%d complete: no stable uniform configuration reachable", tc.k, tc.n)
+		}
+		if rep.StableUniform != rep.Stable {
+			t.Errorf("k=%d n=%d complete: %d stable configs but only %d uniform — a non-uniform freeze on the complete graph would contradict the paper",
+				tc.k, tc.n, rep.Stable, rep.StableUniform)
+		}
+		// Cross-validate liveness against the multiset checker, which is
+		// sound (and exact) on the complete graph.
+		mrep, err := Check(p, tc.n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mrep.LiveFromAll || !mrep.Uniform {
+			t.Errorf("k=%d n=%d: multiset checker disagrees: %+v", tc.k, tc.n, mrep)
+		}
+	}
+}
+
+// The star-graph freeze, in its strongest exhaustive form: EVERY
+// reachable configuration is trapped — the first productive interaction
+// necessarily commits the hub, after which the remaining free leaves
+// can never execute the initial/initial' rendezvous (it needs an edge
+// between two free agents, and all edges go through the hub). Not a
+// single reachable stable configuration is uniform. This is the
+// documented failing-convergence scenario: the model checker proves the
+// freeze is unavoidable, not bad luck.
+func TestCheckVectorStarTotallyTrapped(t *testing.T) {
+	for _, tc := range []struct{ k, n int }{{2, 4}, {2, 5}, {3, 5}} {
+		p := core.MustNew(tc.k)
+		rep, err := CheckVector(p, tc.n, edgesOf(mustGraph(topology.Star(tc.n))), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.StableUniform != 0 {
+			t.Errorf("k=%d n=%d star: %d stable uniform configurations reachable, want 0", tc.k, tc.n, rep.StableUniform)
+		}
+		if rep.Trapped != rep.Reachable {
+			t.Errorf("k=%d n=%d star: %d of %d configurations trapped, want ALL (even the initial one)",
+				tc.k, tc.n, rep.Trapped, rep.Reachable)
+		}
+		if rep.FirstTrapped == nil || rep.FirstStableNonUniform == nil {
+			t.Errorf("k=%d n=%d star: missing witnesses: %+v", tc.k, tc.n, rep)
+		}
+	}
+}
+
+// Rings sit between the complete graph and the star: the 5-cycle for
+// k=2 is fully live (the leftover free agent keeps the rendezvous
+// possible), while the 6-cycle already has trapped configurations —
+// two stranded free agents on opposite arcs, separated by committed
+// segments, can never meet. The freeze finding is a graph-structure
+// phenomenon, not a star quirk.
+func TestCheckVectorRingBorderline(t *testing.T) {
+	p := core.MustNew(2)
+	live, err := CheckVector(p, 5, edgesOf(mustGraph(topology.Ring(5))), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Trapped != 0 {
+		t.Errorf("5-ring k=2: %d trapped, want 0", live.Trapped)
+	}
+	if live.StableUniform == 0 {
+		t.Error("5-ring k=2: no stable uniform configuration")
+	}
+	stuck, err := CheckVector(p, 6, edgesOf(mustGraph(topology.Ring(6))), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stuck.Trapped == 0 {
+		t.Error("6-ring k=2: expected trapped configurations (stranded free pairs), found none")
+	}
+	if stuck.Trapped == stuck.Reachable {
+		t.Error("6-ring k=2: everything trapped — unlike the star, some ring executions do stabilize")
+	}
+}
+
+// A simulated star run that freeze-stops must land, in the model, on a
+// reachable node that is stable (its forward closure is frozen) and
+// non-uniform — the runtime FrozenCondition and the exhaustive checker
+// agree on what a frozen configuration is.
+func TestCheckVectorAgreesWithSimulatedFreeze(t *testing.T) {
+	const n = 5
+	p := core.MustNew(2)
+	g, err := topology.Star(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vg, err := BuildVector(p, n, edgesOf(mustGraph(topology.Star(n))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stable := vg.StableNodes()
+	for seed := uint64(1); seed <= 5; seed++ {
+		pop := population.New(p, n)
+		cond := &topology.FrozenCondition{G: g, Proto: p, Orbits: p.ParityOrbit}
+		res, err := sim.Run(pop, topology.NewEdgeScheduler(g, seed), cond, sim.Options{MaxInteractions: 100_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("seed %d: star run did not freeze within the cap", seed)
+		}
+		id, ok := vg.Lookup(pop.Snapshot())
+		if !ok {
+			t.Fatalf("seed %d: frozen configuration %v is not a reachable node of the model", seed, pop.Snapshot())
+		}
+		if !stable[id] {
+			t.Errorf("seed %d: simulation froze on node %d, but the model says its forward closure is not frozen", seed, id)
+		}
+		if groupSpread(p, vg.Nodes[id]) <= 1 {
+			t.Errorf("seed %d: star freeze landed on a uniform partition %v — the model says that is unreachable", seed, vg.Nodes[id])
+		}
+	}
+}
+
+// The weak-fairness stall is a SCHEDULING phenomenon, not a
+// reachability one: every configuration the stalled execution visits
+// can still reach a stable configuration (the multiset checker proves
+// it), so a globally fair scheduler would rescue the run from any point
+// — the weak adversary just never takes it there. This is the sharpest
+// available separation of the two fairness notions on the paper's own
+// protocol.
+func TestWeakStallStaysLive(t *testing.T) {
+	const n = 9
+	p := core.MustNew(3)
+	g, err := Build(p, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := g.CanReach(g.StableNodes())
+	visited := map[int]bool{}
+	hook := visitRecorder{g: g, visited: visited, t: t}
+	pop := population.New(p, n)
+	res, err := sim.Run(pop,
+		sched.NewWeakAdversary(100, sched.WeakOptions{IsFree: p.IsFree}),
+		sim.NewCountTarget(p.CanonMap(), mustTarget(t, p, n)),
+		sim.Options{MaxInteractions: 20_000, Hooks: []sim.Hook{&hook}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("expected the weak adversary to stall n=9 (it does in the sched tests)")
+	}
+	if len(visited) < 3 {
+		t.Fatalf("stalled run visited only %d distinct configurations", len(visited))
+	}
+	for id := range visited {
+		if !live[id] {
+			t.Fatalf("visited configuration %v cannot reach a stable configuration — the stall would be a reachability freeze, not a fairness artifact",
+				g.Nodes[id])
+		}
+	}
+}
+
+func mustTarget(t *testing.T, p *core.Protocol, n int) []int {
+	t.Helper()
+	target, err := p.TargetCounts(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return target
+}
+
+// visitRecorder maps every visited configuration to its multiset node.
+type visitRecorder struct {
+	g       *Graph
+	visited map[int]bool
+	t       *testing.T
+}
+
+func (v *visitRecorder) Init(pop *population.Population) {
+	v.record(pop)
+}
+
+func (v *visitRecorder) OnStep(pop *population.Population, _ sim.StepInfo) {
+	v.record(pop)
+}
+
+func (v *visitRecorder) record(pop *population.Population) {
+	id, ok := v.g.Lookup(Config{Counts: pop.Counts()})
+	if !ok {
+		v.t.Fatalf("simulation visited unreachable configuration %v", pop.Counts())
+	}
+	v.visited[id] = true
+}

@@ -141,3 +141,56 @@ func TestReportEmptyMeter(t *testing.T) {
 		t.Fatalf("%+v", r)
 	}
 }
+
+// The three-regime separation the package doc promises, now with the
+// weak adversary in the middle: uniform random starves nothing and
+// drives dispersion toward zero; the weak adversary starves nothing
+// (its rotation is the weak-fairness obligation) but keeps dispersion
+// far above random, because three out of four steps go to the hostile
+// same-state oscillation; Hostile starves entire pair classes outright.
+// n=12, k=3 is the stalling configuration from the sched tests: free
+// agents persist forever there, so the hostile branch never runs dry
+// and the dispersion signal doesn't wash out after stabilization.
+func TestReportSeparatesThreeRegimes(t *testing.T) {
+	const n = 12
+	p := core.MustNew(3)
+
+	run := func(s sched.Scheduler) Report {
+		m := NewMeter(n)
+		pop := population.New(p, n)
+		if _, err := sim.Run(pop, s, sim.After{N: 50000},
+			sim.Options{Hooks: []sim.Hook{m}}); err != nil {
+			t.Fatal(err)
+		}
+		return m.Report()
+	}
+	random := run(sched.NewRandom(9))
+	weak := run(sched.NewWeakAdversary(9, sched.WeakOptions{IsFree: p.IsFree}))
+	hostile := run(sched.NewHostile(9, p.IsFree))
+
+	// Weak fairness: the rotation reaches every pair, so nothing starves.
+	if weak.StarvedPairs != 0 {
+		t.Fatalf("weak adversary starved %d pairs; its rotation should reach all", weak.StarvedPairs)
+	}
+	if random.StarvedPairs != 0 {
+		t.Fatalf("random starved %d pairs", random.StarvedPairs)
+	}
+	// Hostility: dispersion clearly above uniform random.
+	if weak.Gini < 3*random.Gini {
+		t.Errorf("weak Gini %.4f not clearly above random %.4f", weak.Gini, random.Gini)
+	}
+	// Bounded starvation separates weak from hostile: hostile's worst
+	// pair gap is unbounded in the run length, weak's is capped by
+	// Patience times the ordered-pair domain (4·n·(n−1) = 224 here,
+	// observed from the unordered-meter side so allow both orders).
+	bound := uint64(sched.DefaultWeakPatience * n * (n - 1))
+	if weak.MaxGap > bound {
+		t.Errorf("weak max gap %d exceeds the weak-fairness bound %d", weak.MaxGap, bound)
+	}
+	if hostile.MaxGap <= bound {
+		t.Errorf("hostile max gap %d unexpectedly within the weak bound %d", hostile.MaxGap, bound)
+	}
+	if hostile.StarvedPairs == 0 {
+		t.Error("hostile starved no pairs in 50k steps; expected persistent starvation")
+	}
+}

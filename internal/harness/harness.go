@@ -68,6 +68,19 @@ type TrialSpec struct {
 	// ≤ N required); 0 selects adaptive aggregate mode. ValidateSpec
 	// rejects a non-zero BatchSize on any other engine.
 	BatchSize uint64
+	// Topology restricts interactions to a graph (zero value: the
+	// paper's complete graph). Non-complete topologies require
+	// EngineAgent and an explicit MaxInteractions cap (scenario runs can
+	// freeze short of uniformity; see TrialResult.Frozen).
+	Topology TopologySpec
+	// Fairness selects the scheduling regime (zero value: the paper's
+	// uniform-random scheduler). FairnessWeak requires EngineAgent and
+	// an explicit MaxInteractions cap.
+	Fairness Fairness
+	// Churn schedules mid-run population changes (zero value: none).
+	// Requires EngineAgent, an explicit MaxInteractions cap, and a
+	// topology that can be rebuilt at any size (complete, ring, star).
+	Churn ChurnSpec
 }
 
 // TrialResult is the outcome of one trial.
@@ -85,6 +98,14 @@ type TrialResult struct {
 	// seeds (RetrySeed), recorded in Spec.Seed, so every result remains
 	// reproducible from its own spec regardless of the retry history.
 	Attempts int `json:",omitempty"`
+	// Frozen reports that a restricted-topology run stopped because the
+	// configuration group-froze (no reachable interaction can change any
+	// agent's group again) WITHOUT reaching the uniform target — the
+	// star-graph failure mode, surfaced as data rather than a timeout.
+	Frozen bool `json:",omitempty"`
+	// FinalN is the population size at the end of a churn run (0 when
+	// the population never changed).
+	FinalN int `json:",omitempty"`
 }
 
 // protoCache shares immutable protocol tables across trials; building a
@@ -209,6 +230,13 @@ func RunTrialCtx(ctx context.Context, spec TrialSpec, opts RunOptions) (TrialRes
 		SetAttr("k", fmt.Sprint(spec.K)).
 		SetAttr("seed", fmt.Sprintf("%#x", spec.Seed)).
 		SetAttr("engine", spec.Engine.String())
+	if spec.HasScenario() {
+		tspan.SetAttr("topology", spec.Topology.String()).
+			SetAttr("fairness", spec.Fairness.String())
+		if spec.Churn.Enabled() {
+			tspan.SetAttr("churn", spec.Churn.String())
+		}
+	}
 	tsw := span.StartWall()
 	endTrial := func(res TrialResult, err error) (TrialResult, error) {
 		if err != nil {
@@ -284,6 +312,19 @@ func runTrial(ctx context.Context, spec TrialSpec, ropts RunOptions) (TrialResul
 	target, err := p.TargetCounts(spec.N)
 	if err != nil {
 		return TrialResult{}, fmt.Errorf("%w: n=%d k=%d: %v", ErrInvalidSpec, spec.N, spec.K, err)
+	}
+	// The scenario axes are validated on the execution path too, not just
+	// at admission: a caller that skips ValidateSpec still gets
+	// ErrInvalidSpec (never a bogus run, never a retry) for an
+	// inconsistent scenario spec.
+	if err := validateScenario(spec); err != nil {
+		return TrialResult{}, err
+	}
+	if spec.HasScenario() {
+		// Restricted topology, adversarial fairness, or churn: the
+		// scenario runner (scenario.go). validateScenario rejects the
+		// count engines for scenarios, so this dispatch happens first.
+		return runScenarioTrial(ctx, p, spec, ropts)
 	}
 	if spec.Engine == EngineCount || spec.Engine == EngineBatch {
 		return runCountTrial(ctx, p, spec, ropts)
@@ -681,6 +722,9 @@ type SweepSpec struct {
 	MaxInteractions uint64
 	Engine          Engine
 	BatchSize       uint64
+	Topology        TopologySpec
+	Fairness        Fairness
+	Churn           ChurnSpec
 }
 
 // Specs expands the sweep point into its per-trial specs, in trial order.
@@ -694,6 +738,9 @@ func (s SweepSpec) Specs() []TrialSpec {
 			MaxInteractions: s.MaxInteractions,
 			Engine:          s.Engine,
 			BatchSize:       s.BatchSize,
+			Topology:        s.Topology,
+			Fairness:        s.Fairness,
+			Churn:           s.Churn,
 		}
 	}
 	return specs

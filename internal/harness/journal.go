@@ -65,14 +65,21 @@ type Entry struct {
 // nothing else (execution policy like timeouts or worker counts must not
 // change a trial's identity).
 func SpecKey(s TrialSpec) string {
-	// v2 added batch=: the batched engine's mode selector is part of a
-	// trial's identity (same seed, different batch size, different
-	// trajectory). Bumping the version string retires every v1 key at
-	// once — an old journal resumes as a fresh campaign rather than
-	// aliasing records across the format change.
+	// v3 added the scenario axes (topo=, fair=, churn=): topology,
+	// fairness regime, and churn schedule all change a trial's
+	// trajectory, so they are part of its identity. Every sub-field is
+	// hashed — including the regular graph's sampling seed and the crash
+	// flag — because any of them selects a different run. Bumping the
+	// version string retires every v2 key at once — an old journal
+	// resumes as a fresh campaign rather than aliasing records across
+	// the format change. (v2 had added batch=.)
+	t, c := s.Topology, s.Churn
 	h := sha256.Sum256([]byte(fmt.Sprintf(
-		"kpart-trial/v2 n=%d k=%d seed=%d max=%d grouping=%t engine=%d batch=%d",
-		s.N, s.K, s.Seed, s.MaxInteractions, s.Grouping, s.Engine, s.BatchSize)))
+		"kpart-trial/v3 n=%d k=%d seed=%d max=%d grouping=%t engine=%d batch=%d"+
+			" topo=%d:%dx%d:d%d:g%d fair=%d churn=%d:%d:%d:%d:%d:%t",
+		s.N, s.K, s.Seed, s.MaxInteractions, s.Grouping, s.Engine, s.BatchSize,
+		t.Kind, t.Rows, t.Cols, t.Degree, t.GraphSeed, s.Fairness,
+		c.At, c.Interval, c.Events, c.Joins, c.Leaves, c.Crash)))
 	return hex.EncodeToString(h[:16])
 }
 

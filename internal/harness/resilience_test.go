@@ -33,6 +33,27 @@ func TestRunManyDifferentialDeterminism(t *testing.T) {
 			BatchSize: uint64(i % 3 * 4), // 0 (adaptive), 4, 8
 		})
 	}
+	// Scenario specs: the per-segment derived scheduler seeds, the churn
+	// RNG, and the regular graph's sampling must all be keyed off the
+	// spec alone — worker count and scheduling order must not show up in
+	// frozen/converged outcomes, final sizes, or interaction counts.
+	specs = append(specs,
+		TrialSpec{N: 12, K: 3, Seed: 31, MaxInteractions: 3_000_000,
+			Topology: TopologySpec{Kind: TopologyRing}},
+		TrialSpec{N: 9, K: 3, Seed: 32, MaxInteractions: 3_000_000,
+			Topology: TopologySpec{Kind: TopologyStar}},
+		TrialSpec{N: 10, K: 2, Seed: 33, MaxInteractions: 3_000_000,
+			Topology: TopologySpec{Kind: TopologyRegular, Degree: 3, GraphSeed: 5}},
+		TrialSpec{N: 12, K: 3, Seed: 34, MaxInteractions: 100_000,
+			Fairness: FairnessWeak},
+		TrialSpec{N: 12, K: 3, Seed: 35, MaxInteractions: 100_000,
+			Topology: TopologySpec{Kind: TopologyRing}, Fairness: FairnessWeak},
+		TrialSpec{N: 15, K: 3, Seed: 36, MaxInteractions: 3_000_000,
+			Churn: ChurnSpec{At: 200, Interval: 300, Events: 2, Joins: 1, Leaves: 2, Crash: true}},
+		TrialSpec{N: 12, K: 3, Seed: 37, MaxInteractions: 3_000_000,
+			Topology: TopologySpec{Kind: TopologyStar},
+			Churn:    ChurnSpec{At: 100, Events: 1, Joins: 2}},
+	)
 	run := func(workers int) []byte {
 		res, err := RunManyCtx(context.Background(), specs, workers, RunOptions{})
 		if err != nil {

@@ -24,6 +24,26 @@ var specKeyMutations = map[string]func(*TrialSpec){
 	"Grouping":        func(s *TrialSpec) { s.Grouping = !s.Grouping },
 	"Engine":          func(s *TrialSpec) { s.Engine = EngineCount },
 	"BatchSize":       func(s *TrialSpec) { s.BatchSize++ },
+	"Topology":        func(s *TrialSpec) { s.Topology.Kind = TopologyRing },
+	"Fairness":        func(s *TrialSpec) { s.Fairness = FairnessWeak },
+	"Churn":           func(s *TrialSpec) { s.Churn.Joins++ },
+}
+
+// The scenario axes are structs; covering the outer field is not enough
+// — every SUB-field must perturb the key too, or two specs differing
+// only in (say) the regular graph's sampling seed alias one cache slot.
+var specKeySubMutations = map[string]func(*TrialSpec){
+	"Topology.Kind":      func(s *TrialSpec) { s.Topology.Kind = TopologyStar },
+	"Topology.Rows":      func(s *TrialSpec) { s.Topology.Rows++ },
+	"Topology.Cols":      func(s *TrialSpec) { s.Topology.Cols++ },
+	"Topology.Degree":    func(s *TrialSpec) { s.Topology.Degree++ },
+	"Topology.GraphSeed": func(s *TrialSpec) { s.Topology.GraphSeed++ },
+	"Churn.At":           func(s *TrialSpec) { s.Churn.At++ },
+	"Churn.Interval":     func(s *TrialSpec) { s.Churn.Interval++ },
+	"Churn.Events":       func(s *TrialSpec) { s.Churn.Events++ },
+	"Churn.Joins":        func(s *TrialSpec) { s.Churn.Joins++ },
+	"Churn.Leaves":       func(s *TrialSpec) { s.Churn.Leaves++ },
+	"Churn.Crash":        func(s *TrialSpec) { s.Churn.Crash = !s.Churn.Crash },
 }
 
 func TestSpecKeyCoversEveryTrialSpecField(t *testing.T) {
@@ -40,6 +60,18 @@ func TestSpecKeyCoversEveryTrialSpecField(t *testing.T) {
 			t.Errorf("specKeyMutations lists %s, which TrialSpec no longer has", name)
 		}
 	}
+	// Same contract one level down for the struct-valued axes.
+	for outer, typ := range map[string]reflect.Type{
+		"Topology": reflect.TypeOf(TopologySpec{}),
+		"Churn":    reflect.TypeOf(ChurnSpec{}),
+	} {
+		for i := 0; i < typ.NumField(); i++ {
+			name := outer + "." + typ.Field(i).Name
+			if _, ok := specKeySubMutations[name]; !ok {
+				t.Errorf("TrialSpec.%s is not covered by SpecKey: register a sub-field mutation", name)
+			}
+		}
+	}
 }
 
 func TestSpecKeyPerturbedByEveryField(t *testing.T) {
@@ -48,16 +80,18 @@ func TestSpecKeyPerturbedByEveryField(t *testing.T) {
 	if again := SpecKey(base); again != baseKey {
 		t.Fatalf("SpecKey is not deterministic: %s vs %s", baseKey, again)
 	}
-	for name, mutate := range specKeyMutations {
-		spec := base
-		mutate(&spec)
-		if spec == base {
-			t.Errorf("mutation for %s left the spec unchanged; the coverage check proves nothing for it", name)
-			continue
-		}
-		if SpecKey(spec) == baseKey {
-			t.Errorf("SpecKey ignores TrialSpec.%s: two specs differing only in %s share key %s",
-				name, name, baseKey)
+	for _, muts := range []map[string]func(*TrialSpec){specKeyMutations, specKeySubMutations} {
+		for name, mutate := range muts {
+			spec := base
+			mutate(&spec)
+			if spec == base {
+				t.Errorf("mutation for %s left the spec unchanged; the coverage check proves nothing for it", name)
+				continue
+			}
+			if SpecKey(spec) == baseKey {
+				t.Errorf("SpecKey ignores TrialSpec.%s: two specs differing only in %s share key %s",
+					name, name, baseKey)
+			}
 		}
 	}
 }

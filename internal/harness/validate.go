@@ -77,5 +77,8 @@ func ValidateSpec(spec TrialSpec) error {
 				ErrInvalidSpec, spec.BatchSize, spec.N)
 		}
 	}
-	return nil
+	// The scenario axes (topology, fairness, churn) have their own
+	// validator in scenario.go: engine compatibility, mandatory caps,
+	// and the churn-schedule walk all live there.
+	return validateScenario(spec)
 }

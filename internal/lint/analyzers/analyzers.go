@@ -27,6 +27,7 @@ func All() []*lint.Analyzer {
 		AtomicField,
 		ErrClose,
 		TableClosure,
+		DocPresence,
 	}
 }
 

@@ -45,6 +45,19 @@ func TestErrCloseGolden(t *testing.T) {
 	linttest.Run(t, "testdata/errclose", "repro/internal/harness", analyzers.ErrClose)
 }
 
+func TestDocPresenceGolden(t *testing.T) {
+	linttest.Run(t, "testdata/docpresence", "repro/internal/foo", analyzers.DocPresence)
+}
+
+// The doc-presence contract is for the library packages; cmd/ binaries
+// are package main with no importable API.
+func TestDocPresenceScopedToInternal(t *testing.T) {
+	diags := loadAs(t, "testdata/docpresence", "repro/cmd/kpart-foo", analyzers.DocPresence)
+	if len(diags) != 0 {
+		t.Fatalf("docpresence fired outside internal/: %v", diags)
+	}
+}
+
 func TestSuppressGolden(t *testing.T) {
 	linttest.Run(t, "testdata/suppress", "repro/internal/harness", analyzers.All()...)
 }

@@ -1,0 +1,49 @@
+// Golden input for the docpresence analyzer; loaded as
+// "repro/internal/foo" so the internal-package scope applies.
+package foo
+
+// Documented has a doc comment; no finding.
+type Documented struct{}
+
+type Naked struct{} // want `exported type Naked has no doc comment`
+
+// DocumentedFunc is documented.
+func DocumentedFunc() {}
+
+func NakedFunc() {} // want `exported function NakedFunc has no doc comment`
+
+func unexported() {} // unexported: exempt
+
+// DocumentedMethod is documented.
+func (Documented) DocumentedMethod() {}
+
+func (Documented) NakedMethod() {} // want `exported method NakedMethod has no doc comment`
+
+type hidden struct{}
+
+// Exported methods on unexported types are interface plumbing; exempt.
+func (hidden) Close() error { return nil }
+
+// MaxThings is documented.
+const MaxThings = 4
+
+const NakedConst = 5 // want `exported const NakedConst has no doc comment`
+
+// Grouped constants: the group doc covers every member.
+const (
+	GroupedA = iota
+	GroupedB
+)
+
+const (
+	// PerSpecDoc is documented spec by spec.
+	PerSpecDoc = 1
+	GroupNaked = 3 // want `exported const GroupNaked has no doc comment`
+)
+
+var NakedVar int // want `exported var NakedVar has no doc comment`
+
+// DocumentedVar is documented.
+var DocumentedVar int
+
+func init() { unexported() } // init is unexported; exempt

@@ -20,6 +20,10 @@ func Standalone(f *os.File) {
 	f.Close()
 }
 
+//lint:allow docpresence -- testdata: the escape hatch is itself under test
+func AllowedUndocumented() {}
+
+// Hygiene exercises the directive-hygiene diagnostics.
 func Hygiene(f *os.File) {
 	var x int //lint:allow nosuch -- testdata // want `unknown analyzer "nosuch"`
 	_ = x

@@ -42,6 +42,7 @@ type Diagnostic struct {
 	Message  string
 }
 
+// String renders the finding in file:line:col form.
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
 }

@@ -14,7 +14,11 @@
 //     fair in general);
 //   - Hostile: an adversarial scheduler that exploits the initial/initial'
 //     oscillation of Figure 1 to starve the protocol forever, demonstrating
-//     that the fairness assumption is necessary.
+//     that the fairness assumption is necessary;
+//   - WeakAdversary (weak.go): a scheduler that is PROVABLY weakly fair —
+//     a cyclic obligation visits every pair infinitely often — yet steers
+//     the protocol into the same handshake oscillation, separating weak
+//     from global fairness without ever starving a pair.
 //
 // Exhaustive verification of the fairness-dependent liveness lives in
 // internal/explore instead, where reachability over the whole configuration

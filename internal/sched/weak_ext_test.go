@@ -1,0 +1,81 @@
+package sched_test
+
+// External test package: these tests drive full sim runs, and sim
+// imports sched, so they cannot live in the in-package test file.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/population"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func runKPartition(t *testing.T, n int, s sched.Scheduler, cap uint64) sim.Result {
+	t.Helper()
+	p := core.MustNew(3)
+	pop := population.New(p, n)
+	target, err := p.TargetCounts(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(pop, s, sim.NewCountTarget(p.CanonMap(), target),
+		sim.Options{MaxInteractions: cap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// The separation result this scheduler exists for: at n=12, k=3 the
+// weak adversary traps the execution in a lap that never pairs initial
+// with initial' at an obligation turn, so the protocol runs forever
+// even though every pair keeps interacting — while uniform random
+// (a globally fair sampler in the probabilistic sense) stabilizes the
+// very same populations in a few hundred interactions. Weak fairness
+// is satisfied; global fairness is violated; the paper's correctness
+// proof does not survive the downgrade. The 2M-interaction budget is
+// ~4 orders of magnitude above the uniform-random stabilization cost,
+// so a non-converged run is a stall, not a slow run.
+func TestWeakAdversaryStallsWhereRandomConverges(t *testing.T) {
+	p := core.MustNew(3)
+	const n = 12
+	for seed := uint64(100); seed < 105; seed++ {
+		weak := runKPartition(t, n, sched.NewWeakAdversary(seed, sched.WeakOptions{IsFree: p.IsFree}), 2_000_000)
+		if weak.Converged {
+			t.Errorf("seed %d: weak adversary failed to stall (converged after %d interactions)",
+				seed, weak.Interactions)
+		}
+		random := runKPartition(t, n, sched.NewRandom(seed), 2_000_000)
+		if !random.Converged {
+			t.Errorf("seed %d: uniform random did not converge", seed)
+		}
+	}
+}
+
+// The adversary is weakly fair, not a wall: at other population sizes
+// the obligation rotation happens to line up the initial/initial'
+// rendezvous and the protocol stabilizes anyway. The trajectory is
+// seed-independent because the hostile branch (first same-state free
+// pair in index order) and the rotation are both deterministic, so the
+// tie-break generator is never consulted. This distinguishes
+// WeakAdversary from Hostile, which starves pairs outright and blocks
+// convergence at every size.
+func TestWeakAdversaryConvergesAtSomeSizes(t *testing.T) {
+	p := core.MustNew(3)
+	const n = 15
+	var first uint64
+	for seed := uint64(100); seed < 103; seed++ {
+		res := runKPartition(t, n, sched.NewWeakAdversary(seed, sched.WeakOptions{IsFree: p.IsFree}), 2_000_000)
+		if !res.Converged {
+			t.Fatalf("seed %d: n=%d did not converge under the weak adversary", seed, n)
+		}
+		if seed == 100 {
+			first = res.Interactions
+		} else if res.Interactions != first {
+			t.Errorf("seed %d: interaction count %d differs from seed 100's %d; expected a seed-independent deterministic trajectory",
+				seed, res.Interactions, first)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/population"
+	"repro/internal/protocol"
+)
+
+// The weak-fairness bound: in any window of Patience·|domain| steps the
+// rotation schedules every domain pair at least once, so no pair's
+// starvation gap can exceed it.
+func TestWeakAdversaryWeakFairnessBound(t *testing.T) {
+	p := core.MustNew(3)
+	const n = 6
+	pop := population.New(p, n)
+	w := NewWeakAdversary(1, WeakOptions{IsFree: p.IsFree, Patience: 4})
+	if w.Name() != "weak-adversary" {
+		t.Errorf("Name = %q", w.Name())
+	}
+	domain := n * (n - 1) // ordered pairs
+	window := 4 * domain
+	lastSeen := map[[2]int]int{}
+	for step := 1; step <= 3*window; step++ {
+		a, b := w.Next(pop)
+		if a == b || a < 0 || b < 0 || a >= n || b >= n {
+			t.Fatalf("invalid pair (%d,%d)", a, b)
+		}
+		lastSeen[[2]int{a, b}] = step
+		// Drive the population too, so the adversarial branch sees
+		// evolving states rather than the all-initial configuration.
+		pop.Interact(a, b)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			seen, ok := lastSeen[[2]int{i, j}]
+			if !ok {
+				t.Fatalf("pair (%d,%d) never scheduled in %d steps", i, j, 3*window)
+			}
+			if gap := 3*window - seen; gap > window {
+				t.Errorf("pair (%d,%d) starved for %d steps, weak-fairness bound is %d", i, j, gap, window)
+			}
+		}
+	}
+}
+
+// With an explicit pair domain (a graph's edge orientations) the
+// adversary never schedules outside it and still rotates through all of
+// it.
+func TestWeakAdversaryRespectsPairDomain(t *testing.T) {
+	p := core.MustNew(2)
+	const n = 5
+	pop := population.New(p, n)
+	// A 5-cycle, both orientations.
+	var pairs [][2]int
+	for i := 0; i < n; i++ {
+		pairs = append(pairs, [2]int{i, (i + 1) % n}, [2]int{(i + 1) % n, i})
+	}
+	allowed := map[[2]int]bool{}
+	for _, pr := range pairs {
+		allowed[pr] = true
+	}
+	w := NewWeakAdversary(7, WeakOptions{Pairs: pairs, IsFree: p.IsFree})
+	seen := map[[2]int]bool{}
+	for step := 0; step < 4*len(pairs)*3; step++ {
+		a, b := w.Next(pop)
+		if !allowed[[2]int{a, b}] {
+			t.Fatalf("scheduled (%d,%d) outside the pair domain", a, b)
+		}
+		seen[[2]int{a, b}] = true
+		pop.Interact(a, b)
+	}
+	if len(seen) != len(pairs) {
+		t.Errorf("covered %d domain pairs, want all %d", len(seen), len(pairs))
+	}
+}
+
+// Without an IsFree classifier the adversary degenerates to rotation
+// plus random fallback and stays within bounds.
+func TestWeakAdversaryNoClassifier(t *testing.T) {
+	p := core.MustNew(2)
+	pop := population.New(p, 4)
+	w := NewWeakAdversary(3, WeakOptions{})
+	for i := 0; i < 1000; i++ {
+		a, b := w.Next(pop)
+		if a == b || a < 0 || b < 0 || a >= 4 || b >= 4 {
+			t.Fatalf("invalid pair (%d,%d)", a, b)
+		}
+	}
+}
+
+// The free-state scan must key on the concrete I-state, not merely
+// freeness: a mixed-parity free population has no hostile pair until
+// two agents share parity.
+func TestWeakAdversaryHostilePairSameState(t *testing.T) {
+	p := core.MustNew(3)
+	states := []protocol.State{p.Initial(), p.InitialBar(), p.G(1), p.G(2)}
+	pop := population.FromStates(p, states)
+	w := NewWeakAdversary(5, WeakOptions{IsFree: p.IsFree, Patience: 1 << 30})
+	if _, _, ok := w.hostilePair(pop); ok {
+		t.Fatal("found a hostile pair in a mixed-parity free set of size 2")
+	}
+	states[1] = p.Initial()
+	pop = population.FromStates(p, states)
+	i, j, ok := w.hostilePair(pop)
+	if !ok || pop.State(i) != pop.State(j) || !p.IsFree(pop.State(i)) {
+		t.Fatalf("hostilePair = (%d,%d,%t), want a same-state free pair", i, j, ok)
+	}
+}

@@ -16,7 +16,10 @@ import (
 
 // TrialRequest is the JSON body of POST /v1/trials: the wire form of a
 // harness.TrialSpec, with the engine spelled the way the binaries' flags
-// spell it ("agent", "count" or "batch").
+// spell it ("agent", "count" or "batch") and the scenario dimensions in
+// their flag syntax too ("ring", "weak", "at=100,events=1,leave=2",
+// ...). Scenario fields require the agent engine; ValidateSpec rejects
+// impossible combinations before the request is admitted.
 type TrialRequest struct {
 	N               int    `json:"n"`
 	K               int    `json:"k"`
@@ -25,6 +28,35 @@ type TrialRequest struct {
 	Grouping        bool   `json:"grouping,omitempty"`
 	Engine          string `json:"engine,omitempty"`
 	BatchSize       uint64 `json:"batch_size,omitempty"`
+	// Topology is the interaction graph in harness.ParseTopology syntax:
+	// "complete" (default), "ring", "star", "grid:RxC", "regular:D" or
+	// "regular:D@SEED".
+	Topology string `json:"topology,omitempty"`
+	// Fairness selects the scheduler family: "uniform" (default) or
+	// "weak" (the weak-fairness adversary).
+	Fairness string `json:"fairness,omitempty"`
+	// Churn is a join/leave schedule in harness.ParseChurn syntax, e.g.
+	// "at=500,events=2,every=300,join=1,leave=2,crash"; "" or "none"
+	// disables churn.
+	Churn string `json:"churn,omitempty"`
+}
+
+// scenario parses the wire scenario dimensions shared by trial and
+// sweep requests. All errors wrap harness.ErrInvalidSpec.
+func scenario(topo, fair, churn string) (harness.TopologySpec, harness.Fairness, harness.ChurnSpec, error) {
+	t, err := harness.ParseTopology(topo)
+	if err != nil {
+		return harness.TopologySpec{}, 0, harness.ChurnSpec{}, err
+	}
+	f, err := harness.ParseFairness(fair)
+	if err != nil {
+		return harness.TopologySpec{}, 0, harness.ChurnSpec{}, err
+	}
+	c, err := harness.ParseChurn(churn)
+	if err != nil {
+		return harness.TopologySpec{}, 0, harness.ChurnSpec{}, err
+	}
+	return t, f, c, nil
 }
 
 // Spec validates the request and returns the trial spec it names.
@@ -35,6 +67,10 @@ func (r TrialRequest) Spec() (harness.TrialSpec, error) {
 	if err != nil {
 		return harness.TrialSpec{}, err
 	}
+	topo, fair, churn, err := scenario(r.Topology, r.Fairness, r.Churn)
+	if err != nil {
+		return harness.TrialSpec{}, err
+	}
 	spec := harness.TrialSpec{
 		N: r.N, K: r.K,
 		Seed:            r.Seed,
@@ -42,6 +78,9 @@ func (r TrialRequest) Spec() (harness.TrialSpec, error) {
 		Grouping:        r.Grouping,
 		Engine:          eng,
 		BatchSize:       r.BatchSize,
+		Topology:        topo,
+		Fairness:        fair,
+		Churn:           churn,
 	}
 	if err := harness.ValidateSpec(spec); err != nil {
 		return harness.TrialSpec{}, err
@@ -68,6 +107,11 @@ type SweepRequest struct {
 	Grouping        bool   `json:"grouping,omitempty"`
 	Engine          string `json:"engine,omitempty"`
 	BatchSize       uint64 `json:"batch_size,omitempty"`
+	// Topology, Fairness and Churn carry the scenario dimensions in the
+	// same syntax as TrialRequest; they apply to every trial of the point.
+	Topology string `json:"topology,omitempty"`
+	Fairness string `json:"fairness,omitempty"`
+	Churn    string `json:"churn,omitempty"`
 }
 
 // Sweep validates the request against maxTrials (<= 0 selects
@@ -86,6 +130,10 @@ func (r SweepRequest) Sweep(maxTrials int) (harness.SweepSpec, error) {
 	if err != nil {
 		return harness.SweepSpec{}, err
 	}
+	topo, fair, churn, err := scenario(r.Topology, r.Fairness, r.Churn)
+	if err != nil {
+		return harness.SweepSpec{}, err
+	}
 	s := harness.SweepSpec{
 		N: r.N, K: r.K, Trials: r.Trials,
 		Seed: r.Seed, PointID: r.PointID,
@@ -93,6 +141,9 @@ func (r SweepRequest) Sweep(maxTrials int) (harness.SweepSpec, error) {
 		MaxInteractions: r.MaxInteractions,
 		Engine:          eng,
 		BatchSize:       r.BatchSize,
+		Topology:        topo,
+		Fairness:        fair,
+		Churn:           churn,
 	}
 	// Every trial of the point shares (n, k, engine), so validating the
 	// first spec validates them all.
