@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt-check lint test race fuzz-smoke bench bench-json serve-smoke serve-bench-json bench-diff bench-diff-report
+.PHONY: check build vet fmt-check lint lint-sarif test race fuzz-smoke bench bench-json serve-smoke serve-bench-json bench-diff bench-diff-report
 
 check: build vet fmt-check lint test race bench-diff-report
 
@@ -27,13 +27,22 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# The repo's own static-analysis gate: determinism, rngdiscipline,
-# maporder, atomicfield, errclose, tableclosure (see
-# internal/lint/analyzers and the "Static analysis" section of
-# DESIGN.md). Exits non-zero on any finding; suppressions require
-# `//lint:allow <analyzer> -- reason`.
+# The repo's own static-analysis gate: the per-package analyzers
+# (determinism, rngdiscipline, maporder, atomicfield, errclose,
+# tableclosure, docpresence) plus the interprocedural suite built on the
+# whole-program call graph — ctxflow (reachable unbounded work must poll
+# a context), lockguard (`// guarded by <mu>` field accesses), goroutinelife
+# (every go statement needs a provable exit path), speclosure (every
+# TrialSpec field reaches SpecKey, ValidateSpec, and the serve JSON
+# mapping). See internal/lint/analyzers and DESIGN.md §9. Exits non-zero
+# on any finding; suppressions require `//lint:allow <analyzer> -- reason`.
 lint:
 	$(GO) run ./cmd/kpart-lint ./...
+
+# The same findings as SARIF 2.1.0 (lint.sarif) for editors and
+# code-scanning upload; exit status matches `lint`.
+lint-sarif:
+	$(GO) run ./cmd/kpart-lint -sarif ./... > lint.sarif
 
 test:
 	$(GO) test ./...
@@ -64,6 +73,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzSuppression -fuzztime=5s ./internal/lint
 	$(GO) test -run='^$$' -fuzz=FuzzReadJSONL -fuzztime=5s ./internal/obs/span
 	$(GO) test -run='^$$' -fuzz=FuzzBatchApply -fuzztime=5s ./internal/countsim
+	$(GO) test -run='^$$' -fuzz=FuzzGuardedBy -fuzztime=5s ./internal/lint/analyzers
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$

@@ -1,16 +1,24 @@
 // kpart-lint is the repo's static-analysis gate: it runs the
 // internal/lint analyzer suite (stdlib go/ast + go/types only, no
 // external tooling) over the module and exits non-zero on any finding.
-// `make lint` runs it as part of `make check`.
+// `make lint` runs it as part of `make check`. The suite spans
+// per-package checks (determinism, rngdiscipline, maporder,
+// atomicfield, errclose, tableclosure, docpresence) and the
+// interprocedural checks built on the whole-program call graph and fact
+// store (ctxflow, lockguard, goroutinelife, speclosure) — see DESIGN.md
+// §9 for how those are constructed.
 //
 // Usage:
 //
-//	kpart-lint [-json] [-list] [patterns ...]
+//	kpart-lint [-json] [-sarif] [-list] [patterns ...]
 //
 // Patterns default to ./... (every package under the module root).
-// Suppress a finding with `//lint:allow <analyzer> -- <reason>` on the
-// offending line or the line above; the reason is mandatory and unused
-// or misspelled suppressions are themselves findings.
+// -sarif emits a SARIF 2.1.0 log for code-scanning consumers (`make
+// lint-sarif` writes it to lint.sarif). Suppress a finding with
+// `//lint:allow <analyzer> -- <reason>` on the offending line or the
+// line above — or, for the interprocedural analyzers, on the enclosing
+// function declaration; the reason is mandatory and unused or
+// misspelled suppressions are themselves findings.
 package main
 
 import (
@@ -24,9 +32,10 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	sarifOut := flag.Bool("sarif", false, "emit a SARIF 2.1.0 log instead of text (exit status unchanged)")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: kpart-lint [-json] [-list] [patterns ...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: kpart-lint [-json] [-sarif] [-list] [patterns ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -79,16 +88,20 @@ func main() {
 	}
 
 	diags := lint.Run(pkgs, suite)
-	if *jsonOut {
+	switch {
+	case *sarifOut:
+		root, _ := os.Getwd()
+		err = lint.WriteSARIF(os.Stdout, diags, suite, root)
+	case *jsonOut:
 		err = lint.WriteJSON(os.Stdout, diags)
-	} else {
+	default:
 		err = lint.WriteText(os.Stdout, diags)
 	}
 	if err != nil {
 		fatal(err)
 	}
 	if len(diags) > 0 {
-		if !*jsonOut {
+		if !*jsonOut && !*sarifOut {
 			fmt.Fprintf(os.Stderr, "kpart-lint: %d finding(s)\n", len(diags))
 		}
 		os.Exit(1)

@@ -112,7 +112,7 @@ type TrialResult struct {
 // table is O(k²) but there is no reason to do it 100 times per point.
 type protoCache struct {
 	mu sync.Mutex
-	m  map[int]*core.Protocol
+	m  map[int]*core.Protocol // guarded by mu
 }
 
 var cache = protoCache{m: make(map[int]*core.Protocol)}

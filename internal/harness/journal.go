@@ -87,9 +87,9 @@ func SpecKey(s TrialSpec) string {
 // use; RunManyCtx appends from every worker.
 type Journal struct {
 	mu   sync.Mutex
-	f    *os.File
+	f    *os.File // guarded by mu
 	path string
-	done map[string]Entry
+	done map[string]Entry // guarded by mu
 }
 
 // CreateJournal starts a fresh journal at path (truncating any previous
@@ -141,6 +141,8 @@ func OpenJournal(path, meta string) (*Journal, error) {
 // load replays the journal into memory and positions the file for
 // appending just after the last complete record.
 func (j *Journal) load(meta string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	r := bufio.NewReaderSize(j.f, 1<<16)
 	var offset int64 // end of the last fully parsed line
 	lineNo := 0

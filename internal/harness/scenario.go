@@ -248,7 +248,7 @@ func (c ChurnSpec) String() string {
 	}
 	fmt.Fprintf(&b, ",events=%d,join=%d,leave=%d", c.Events, c.Joins, c.Leaves)
 	if c.Crash {
-		b.WriteString(",crash") //lint:allow errclose -- strings.Builder never errors
+		b.WriteString(",crash")
 	}
 	return b.String()
 }

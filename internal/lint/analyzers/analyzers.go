@@ -28,6 +28,10 @@ func All() []*lint.Analyzer {
 		ErrClose,
 		TableClosure,
 		DocPresence,
+		CtxFlow,
+		LockGuard,
+		GoroutineLife,
+		SpecClosure,
 	}
 }
 

@@ -260,6 +260,126 @@ func TestPlainRead(t *testing.T) {
 	}
 }
 
+// --- interprocedural analyzers ---------------------------------------------
+
+func TestCtxFlowGolden(t *testing.T) {
+	linttest.Run(t, "testdata/ctxflow", "repro/internal/harness", analyzers.CtxFlow)
+}
+
+// Outside the packages carrying the cancellation invariant (e.g.
+// internal/rng's rejection samplers) the same loops are legal.
+func TestCtxFlowScopedToInvariantPackages(t *testing.T) {
+	for _, d := range loadAs(t, "testdata/ctxflow", "repro/internal/rng", analyzers.CtxFlow) {
+		if d.Analyzer == analyzers.CtxFlow.Name {
+			t.Fatalf("ctxflow fired outside its package scope: %v", d)
+		}
+	}
+}
+
+func TestLockGuardGolden(t *testing.T) {
+	linttest.Run(t, "testdata/lockguard", "repro/internal/serve", analyzers.LockGuard)
+}
+
+// lockguard applies everywhere annotations appear — the same fixture
+// under any module path reports the same findings (its scope is the
+// annotation, not the package).
+func TestLockGuardAppliesEverywhere(t *testing.T) {
+	diags := loadAs(t, "testdata/lockguard", "repro/internal/rng", analyzers.LockGuard)
+	if len(diags) == 0 {
+		t.Fatal("lockguard should fire on annotated fields under any package path")
+	}
+}
+
+// Annotation hygiene that cannot carry same-line want markers (the
+// marker text would become part of the annotation): checked
+// programmatically on a scratch package.
+func TestLockGuardAnnotationHygiene(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		p := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.com/m\n\ngo 1.22\n")
+	write("p/p.go", `package p
+
+import "sync"
+
+type s struct {
+	mu sync.Mutex
+	a  int // guarded by nosuch
+	b  int // guarded by c.mu
+	c  int // guarded by mu
+}
+
+// guarded by mu
+func free() {}
+`)
+	dir := filepath.Join(root, "p")
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{analyzers.LockGuard})
+	wantSubstrings := []string{
+		"no sibling field nosuch",
+		"field guards must name a sibling mutex field",
+		"only methods can require a caller-held lock",
+	}
+	if len(diags) != len(wantSubstrings) {
+		t.Fatalf("want %d hygiene findings, got %v", len(wantSubstrings), diags)
+	}
+	for i, sub := range wantSubstrings {
+		if !strings.Contains(diags[i].Message, sub) {
+			t.Errorf("finding %d = %q, want substring %q", i, diags[i].Message, sub)
+		}
+	}
+}
+
+func TestGoroutineLifeGolden(t *testing.T) {
+	linttest.Run(t, "testdata/goroutinelife", "repro/internal/serve", analyzers.GoroutineLife)
+}
+
+// Goroutines outside the long-lived layers (serve/harness/obs) are not
+// goroutinelife's business.
+func TestGoroutineLifeScopedToLongLivedPackages(t *testing.T) {
+	for _, d := range loadAs(t, "testdata/goroutinelife", "repro/internal/sim", analyzers.GoroutineLife) {
+		if d.Analyzer == analyzers.GoroutineLife.Name {
+			t.Fatalf("goroutinelife fired outside its package scope: %v", d)
+		}
+	}
+}
+
+// The speclosure golden is a two-package program: the harness fixture
+// exports the TrialSpec field inventory as a fact, and the serve
+// fixture (importing it by its real testdata path) is checked against
+// that inventory across the package boundary.
+func TestSpecClosureGoldenMultiPackage(t *testing.T) {
+	linttest.RunPackages(t, []linttest.PackageSpec{
+		{Dir: "testdata/speclosure/harness", ImportPath: "repro/internal/lint/analyzers/testdata/speclosure/harness"},
+		{Dir: "testdata/speclosure/serve", ImportPath: "repro/internal/lint/analyzers/testdata/speclosure/serve"},
+	}, analyzers.SpecClosure)
+}
+
+// Under paths ending neither /harness nor /serve the same sources are
+// out of scope entirely.
+func TestSpecClosureScopedToHarnessAndServe(t *testing.T) {
+	for _, d := range loadAs(t, "testdata/speclosure/harness", "repro/internal/sim", analyzers.SpecClosure) {
+		if d.Analyzer == analyzers.SpecClosure.Name {
+			t.Fatalf("speclosure fired outside its package scope: %v", d)
+		}
+	}
+}
+
 // A directory without external test files is not an xtest unit.
 func TestLoadExternalTestAbsent(t *testing.T) {
 	abs, err := filepath.Abs("testdata/determinism")

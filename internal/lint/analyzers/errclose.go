@@ -50,12 +50,48 @@ func runErrClose(pass *lint.Pass) {
 			if !returnsError(pass, call) {
 				return true
 			}
+			if isStringsBuilder(receiverType(pass, sel.X)) {
+				// strings.Builder's Write* methods are documented to
+				// always return a nil error; checking it is noise.
+				return true
+			}
 			pass.Reportf(call.Pos(),
 				"error from %s() is silently dropped; check it, or `_ = x.%s()` to discard explicitly",
 				sel.Sel.Name, sel.Sel.Name)
 			return true
 		})
 	}
+}
+
+// receiverType resolves the static type of a method receiver
+// expression. Info.Types may omit bare identifiers (go/types records
+// those only in Uses), so fall back to the identifier's object.
+func receiverType(pass *lint.Pass, e ast.Expr) types.Type {
+	e = ast.Unparen(e)
+	if tv, ok := pass.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := pass.Info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+func isStringsBuilder(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "strings" && obj.Name() == "Builder"
 }
 
 // returnsError reports whether any result of the call is exactly error.

@@ -1,0 +1,75 @@
+package analyzers
+
+// The `// guarded by <mu>` annotation grammar, shared by the lockguard
+// analyzer and the FuzzGuardedBy target.
+//
+// An annotation is a comment whose text (after the leading slashes and
+// surrounding space) begins with the exact phrase "guarded by",
+// followed by one mutex designator:
+//
+//	mu        sync.Mutex                  // guarded by — NOT an annotation (no name): malformed
+//	m         map[string]entry            // guarded by mu
+//	pending   map[string][]chan result    //   guarded by   mu     (internal space is free)
+//
+// The designator is a dot-separated identifier path (ASCII identifiers:
+// [A-Za-z_][A-Za-z0-9_]*). lockguard itself only accepts a single
+// identifier — the name of a sibling mutex field (on struct fields) or
+// of a mutex field on the method's receiver (on function declarations);
+// the dotted form is parsed so the grammar has room to grow without
+// changing the parser's contract.
+//
+// Comments that merely mention the phrase mid-sentence ("the map is
+// guarded by mu") are not annotations: the phrase must come first.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseGuardedBy parses one comment's text (with or without the leading
+// "//"). ok reports whether the comment is a guarded-by annotation at
+// all; err, when ok, reports a malformed one (and mutex is empty).
+func ParseGuardedBy(text string) (mutex string, ok bool, err error) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	rest, has := strings.CutPrefix(text, "guarded by")
+	if !has {
+		return "", false, nil
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		// "guarded byte ..." and the like: not the phrase.
+		return "", false, nil
+	}
+	name := strings.TrimSpace(rest)
+	if name == "" {
+		return "", true, fmt.Errorf("guarded by needs a mutex name: // guarded by <mu>")
+	}
+	if i := strings.IndexAny(name, " \t"); i >= 0 {
+		return "", true, fmt.Errorf("guarded by takes one mutex designator, got %q", name)
+	}
+	for _, seg := range strings.Split(name, ".") {
+		if !validIdent(seg) {
+			return "", true, fmt.Errorf("guarded by designator %q is not an identifier path", name)
+		}
+	}
+	return name, true, nil
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '_', 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z':
+		case '0' <= c && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

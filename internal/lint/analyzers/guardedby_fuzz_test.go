@@ -1,0 +1,73 @@
+package analyzers
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzGuardedBy drives arbitrary comment text through the guarded-by
+// parser and checks its invariants rather than specific outputs:
+//
+//   - never panics (the fuzzer's real job);
+//   - (ok, err, mutex) are coherent: a mutex is returned only on
+//     well-formed annotations, an error only on recognized-but-malformed
+//     ones, and never both;
+//   - a returned mutex is a dot-separated ASCII identifier path — the
+//     contract lockguard's sibling-field lookup depends on;
+//   - parsing is insensitive to a leading "//" and to surrounding
+//     space, so lockguard may feed comment text in either form;
+//   - non-annotations stay non-annotations when the phrase is not a
+//     prefix of the trimmed text.
+func FuzzGuardedBy(f *testing.F) {
+	for _, seed := range []string{
+		"// guarded by mu",
+		"guarded by mu",
+		"//\tguarded by\tc.mu",
+		"// guarded by",
+		"// guarded by mu and sometimes rw",
+		"// guarded by 1bad",
+		"// guarded by a.b.c",
+		"// guarded by a..b",
+		"// guarded byte slices",
+		"// the map is guarded by mu",
+		"// guarded by mu\x00",
+		"// guarded by µ",
+		"//// guarded by mu",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		mutex, ok, err := ParseGuardedBy(text)
+		if !ok {
+			if mutex != "" || err != nil {
+				t.Fatalf("ParseGuardedBy(%q) = (%q, false, %v): non-annotations must return empty/nil", text, mutex, err)
+			}
+			return
+		}
+		if err != nil {
+			if mutex != "" {
+				t.Fatalf("ParseGuardedBy(%q) returned both a mutex %q and an error %v", text, mutex, err)
+			}
+			return
+		}
+		if mutex == "" {
+			t.Fatalf("ParseGuardedBy(%q) = ok with no error but empty mutex", text)
+		}
+		for _, seg := range strings.Split(mutex, ".") {
+			if !validIdent(seg) {
+				t.Fatalf("ParseGuardedBy(%q) returned non-identifier-path mutex %q", text, mutex)
+			}
+		}
+		if !utf8.ValidString(mutex) {
+			t.Fatalf("ParseGuardedBy(%q) returned invalid UTF-8 %q", text, mutex)
+		}
+		// Idempotence across the "//" and whitespace normalization the
+		// parser itself performs: re-feeding a canonical form must parse
+		// to the same designator.
+		again, ok2, err2 := ParseGuardedBy("// guarded by " + mutex)
+		if !ok2 || err2 != nil || again != mutex {
+			t.Fatalf("round-trip of %q = (%q, %v, %v)", mutex, again, ok2, err2)
+		}
+	})
+}

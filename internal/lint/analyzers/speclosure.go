@@ -1,0 +1,394 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// SpecClosure promotes the SpecKey drift-guard from a reflect-based
+// test to a lint-time, cross-package guarantee: every field of
+// harness.TrialSpec (and every field of its scenario sub-structs) must
+// be (1) hashed by SpecKey — the cache/journal identity; a field that
+// influences a run but not its key silently aliases distinct results —
+// (2) read by ValidateSpec or a helper it calls (fields exempt from
+// validation are listed, with reasons, in specloseValidateExempt), and
+// (3) mapped by the serving layer: set in its TrialSpec construction
+// and present by name on its TrialRequest wire struct.
+//
+// The harness-side pass exports the field inventory as a fact on the
+// TrialSpec type object; the serve-side checks import it across the
+// package boundary. Packages are identified structurally (path suffix
+// "/harness" or "/serve", type names TrialSpec/TrialRequest), so golden
+// fixtures behave exactly like the real tree.
+var SpecClosure = &lint.Analyzer{
+	Name:            "speclosure",
+	Doc:             "every TrialSpec field must appear in SpecKey hashing, ValidateSpec, and the serve JSON mapping",
+	Applies:         specClosureScope,
+	Run:             runSpecClosure,
+	RunProgram:      runSpecClosureProgram,
+	Interprocedural: true,
+}
+
+// specloseValidateExempt lists TrialSpec fields ValidateSpec need not
+// read, with the reason each is exempt. Additions belong here, in code,
+// where review sees them.
+var specloseValidateExempt = map[string]string{
+	// Every uint64 is a valid seed; the seed is hashed into SpecKey and
+	// threaded to the RNG, never range-checked.
+	"Seed": "any seed value is valid",
+}
+
+func specClosureScope(path string) bool {
+	return strings.HasSuffix(path, "/harness") || strings.HasSuffix(path, "/serve")
+}
+
+// specFieldsFact is the field inventory of one TrialSpec type, exported
+// on its *types.TypeName.
+type specFieldsFact struct {
+	// Fields is the top-level field list in declaration order.
+	Fields []string
+	// Sub maps a field name to the field list of its named-struct type
+	// (same package only), for sub-field hash closure.
+	Sub map[string][]string
+	// SubType maps a field name to its named-struct type's name.
+	SubType map[string]string
+}
+
+func (*specFieldsFact) AFact() {}
+
+// runSpecClosure exports the TrialSpec field inventory from
+// harness-shaped packages.
+func runSpecClosure(pass *lint.Pass) {
+	if !strings.HasSuffix(pass.Path, "/harness") {
+		return
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != "TrialSpec" {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				obj, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				pass.Facts.ExportObjectFact(obj, buildSpecFields(pass, st))
+			}
+		}
+	}
+}
+
+func buildSpecFields(pass *lint.Pass, st *ast.StructType) *specFieldsFact {
+	fact := &specFieldsFact{Sub: map[string][]string{}, SubType: map[string]string{}}
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			fact.Fields = append(fact.Fields, name.Name)
+			// Same-package named struct fields get sub-field closure.
+			t := pass.Info.TypeOf(field.Type)
+			named, ok := t.(*types.Named)
+			if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != pass.Path {
+				continue
+			}
+			sub, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			var subNames []string
+			for i := 0; i < sub.NumFields(); i++ {
+				subNames = append(subNames, sub.Field(i).Name())
+			}
+			fact.Sub[name.Name] = subNames
+			fact.SubType[name.Name] = named.Obj().Name()
+		}
+	}
+	return fact
+}
+
+func runSpecClosureProgram(pp *lint.ProgramPass) {
+	for _, pkg := range pp.Program.Packages {
+		switch {
+		case strings.HasSuffix(pkg.Path, "/harness"):
+			checkHarnessClosure(pp, pkg)
+		case strings.HasSuffix(pkg.Path, "/serve"):
+			checkServeClosure(pp, pkg)
+		}
+	}
+}
+
+// checkHarnessClosure verifies SpecKey and ValidateSpec coverage inside
+// one harness-shaped package.
+func checkHarnessClosure(pp *lint.ProgramPass, pkg *lint.Package) {
+	obj, _ := pkg.Pkg.Scope().Lookup("TrialSpec").(*types.TypeName)
+	if obj == nil {
+		return
+	}
+	var fact specFieldsFact
+	if !pp.Facts.ImportObjectFact(obj, &fact) {
+		return
+	}
+	specKey := packageFunc(pkg, "SpecKey")
+	validate := packageFunc(pkg, "ValidateSpec")
+	if specKey == nil {
+		pp.Reportf(obj.Pos(), "package %s declares TrialSpec but no SpecKey function; specs without a content hash cannot be cached or journaled", pkg.Pkg.Name())
+	}
+	if validate == nil {
+		pp.Reportf(obj.Pos(), "package %s declares TrialSpec but no ValidateSpec function; unvalidated specs reach the engines", pkg.Pkg.Name())
+	}
+
+	if specKey != nil {
+		covered, subCovered := fieldSelections(pkg, &fact, []*ast.FuncDecl{specKey})
+		for _, f := range fact.Fields {
+			if !covered[f] {
+				pp.Reportf(specKey.Name.Pos(), "SpecKey does not hash TrialSpec.%s; include it (and bump the key version) or distinct specs will share cache/journal entries", f)
+			}
+		}
+		for _, f := range fact.Fields {
+			for _, sub := range fact.Sub[f] {
+				if !subCovered[fact.SubType[f]+"."+sub] {
+					pp.Reportf(specKey.Name.Pos(), "SpecKey does not hash TrialSpec.%s.%s; include it (and bump the key version) or distinct specs will share cache/journal entries", f, sub)
+				}
+			}
+		}
+	}
+	if validate != nil {
+		// ValidateSpec may delegate: any same-package function reachable
+		// from it over static edges contributes coverage.
+		decls := reachableDecls(pp, pkg, validate)
+		covered, _ := fieldSelections(pkg, &fact, decls)
+		for _, f := range fact.Fields {
+			if covered[f] {
+				continue
+			}
+			if _, exempt := specloseValidateExempt[f]; exempt {
+				continue
+			}
+			pp.Reportf(validate.Name.Pos(), "ValidateSpec never reads TrialSpec.%s (directly or via helpers it calls); validate it or list it in specloseValidateExempt with a reason", f)
+		}
+	}
+}
+
+// packageFunc finds the package-level function decl named name in
+// non-test files.
+func packageFunc(pkg *lint.Package, name string) *ast.FuncDecl {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Recv == nil && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// reachableDecls returns the function decls of pkg statically reachable
+// from root (root included), in deterministic order.
+func reachableDecls(pp *lint.ProgramPass, pkg *lint.Package, root *ast.FuncDecl) []*ast.FuncDecl {
+	g := pp.Program.Graph
+	var rootFn *lint.Func
+	for _, fn := range g.Funcs {
+		if fn.Decl == root {
+			rootFn = fn
+			break
+		}
+	}
+	if rootFn == nil {
+		return []*ast.FuncDecl{root}
+	}
+	var decls []*ast.FuncDecl
+	seen := g.Reachable([]*lint.Func{rootFn})
+	fns := make([]*lint.Func, 0, len(seen))
+	for fn := range seen {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Key() < fns[j].Key() })
+	for _, fn := range fns {
+		if fn.Pkg == pkg && fn.Decl != nil {
+			decls = append(decls, fn.Decl)
+		}
+	}
+	return decls
+}
+
+// fieldSelections collects which TrialSpec fields (and sub-struct
+// fields, keyed "SubType.Field") the given decls select.
+func fieldSelections(pkg *lint.Package, fact *specFieldsFact, decls []*ast.FuncDecl) (map[string]bool, map[string]bool) {
+	subTypes := make(map[string]bool, len(fact.SubType))
+	for _, tn := range fact.SubType {
+		subTypes[tn] = true
+	}
+	covered := make(map[string]bool)
+	subCovered := make(map[string]bool)
+	for _, fd := range decls {
+		if fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := pkg.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			recv := namedName(s.Recv())
+			switch {
+			case recv == "TrialSpec":
+				covered[sel.Sel.Name] = true
+			case subTypes[recv]:
+				subCovered[recv+"."+sel.Sel.Name] = true
+			}
+			return true
+		})
+	}
+	return covered, subCovered
+}
+
+func namedName(t types.Type) string {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// checkServeClosure verifies the wire mapping inside one serve-shaped
+// package: the union of keyed TrialSpec composite literals (non-test,
+// non-empty) must set every field, and the TrialRequest struct must
+// carry a same-named field for each.
+func checkServeClosure(pp *lint.ProgramPass, pkg *lint.Package) {
+	type litSet struct {
+		keys  map[string]bool
+		first token.Pos
+		full  bool // a positional literal sets everything
+	}
+	byType := make(map[string]*litSet) // harness TrialSpec type obj key
+	factOf := make(map[string]*specFieldsFact)
+
+	for _, file := range pkg.Files {
+		if strings.HasSuffix(pp.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || len(lit.Elts) == 0 {
+				return true
+			}
+			tv, ok := pkg.Info.Types[lit]
+			if !ok {
+				return true
+			}
+			t := tv.Type
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return true
+			}
+			var fact specFieldsFact
+			if !pp.Facts.ImportObjectFact(named.Obj(), &fact) {
+				return true
+			}
+			key := pp.Facts.ObjectKey(named.Obj())
+			set := byType[key]
+			if set == nil {
+				set = &litSet{keys: make(map[string]bool), first: lit.Pos()}
+				byType[key] = set
+				f := fact
+				factOf[key] = &f
+			}
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					set.full = true // positional literal: every field set
+					break
+				}
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					set.keys[id.Name] = true
+				}
+			}
+			return true
+		})
+	}
+
+	keys := make([]string, 0, len(byType))
+	for k := range byType {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		set, fact := byType[k], factOf[k]
+		if set.full {
+			continue
+		}
+		for _, f := range fact.Fields {
+			if !set.keys[f] {
+				pp.Reportf(set.first, "serve mapping never sets TrialSpec.%s when building specs from wire requests; requests cannot express it", f)
+			}
+		}
+	}
+
+	// TrialRequest wire-field closure, against any TrialSpec fact the
+	// package's literals referenced (or, with no literal, skip — there is
+	// no mapping to drift).
+	if len(keys) == 0 {
+		return
+	}
+	fact := factOf[keys[0]]
+	for _, file := range pkg.Files {
+		if strings.HasSuffix(pp.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != "TrialRequest" {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				have := make(map[string]bool)
+				for _, field := range st.Fields.List {
+					for _, name := range field.Names {
+						have[name.Name] = true
+					}
+				}
+				for _, f := range fact.Fields {
+					if !have[f] {
+						pp.Reportf(ts.Name.Pos(), "TrialRequest has no %s field; TrialSpec.%s cannot be set over the wire (add it to the JSON mapping)", f, f)
+					}
+				}
+			}
+		}
+	}
+}

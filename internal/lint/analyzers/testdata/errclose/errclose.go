@@ -5,6 +5,7 @@ package persist
 import (
 	"bufio"
 	"os"
+	"strings"
 )
 
 func Bad(f *os.File, w *bufio.Writer) {
@@ -33,3 +34,14 @@ type quietCloser struct{}
 func (quietCloser) Close() {}
 
 func GoodNoError(q quietCloser) { q.Close() }
+
+// strings.Builder's Write* methods are documented to never return a
+// non-nil error, so bare statement calls on one are fine.
+func GoodBuilder(s string) string {
+	var b strings.Builder
+	b.WriteString(s)
+	b.Write([]byte(s))
+	pb := &b
+	pb.WriteString("tail")
+	return b.String()
+}

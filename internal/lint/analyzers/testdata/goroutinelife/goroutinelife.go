@@ -1,0 +1,75 @@
+// Package serve is the goroutinelife golden fixture: go statements
+// launching workers with and without provable exit paths, including a
+// channel whose close site lives in another function (carried by a
+// fact) and a launch through an unresolvable function value.
+package serve
+
+type worker struct {
+	queue chan int
+	done  chan struct{}
+}
+
+// Close shuts the queue down; the close fact this exports is what lets
+// drain's range pass.
+func (w *worker) Close() {
+	close(w.queue)
+}
+
+func (w *worker) start(fn func(int8) int8) {
+	go w.drain()
+	go w.spin()     // want `goroutine may never exit: condition-less for loop with no break or return`
+	go w.leak()     // want `goroutine may never exit: range over channel done that nothing in the program closes`
+	go w.indirect() // want `goroutine may never exit: condition-less for loop with no break or return at .* \(in serve\.spinHelper\)`
+	go w.block()    // want `goroutine may never exit: empty select\{\}`
+	go w.wait()
+	go fn(0) // want `goroutine target cannot be resolved; launch a named function or literal so its exit path is checkable`
+	go func() {
+		<-w.done
+	}()
+}
+
+// drain exits when Close closes the queue.
+func (w *worker) drain() {
+	for v := range w.queue {
+		_ = v
+	}
+}
+
+// spin can run forever with no escape.
+func (w *worker) spin() {
+	for {
+	}
+}
+
+// leak ranges a channel nothing ever closes.
+func (w *worker) leak() {
+	for range w.done {
+	}
+}
+
+// indirect diverges through a static callee.
+func (w *worker) indirect() {
+	spinHelper()
+}
+
+func spinHelper() {
+	for {
+	}
+}
+
+// block parks forever on an empty select.
+func (w *worker) block() {
+	select {}
+}
+
+// wait loops but every iteration can return.
+func (w *worker) wait() {
+	for {
+		select {
+		case <-w.done:
+			return
+		case v := <-w.queue:
+			_ = v
+		}
+	}
+}

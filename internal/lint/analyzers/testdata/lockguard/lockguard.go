@@ -1,0 +1,93 @@
+// Package serve is the lockguard golden fixture: guarded fields
+// accessed with and without their mutex, RWMutex read/write asymmetry,
+// caller-held method contracts, branch-local lock state, function
+// literals, and annotation hygiene.
+package serve
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) bad() int {
+	return c.n // want `field n \(guarded by mu\) read without holding mu on this path`
+}
+
+func (c *counter) badWrite() {
+	c.n++ // want `field n \(guarded by mu\) written without holding mu on this path`
+}
+
+// branchy locks only inside the if; the effect must not leak past it.
+func (c *counter) branchy(b bool) {
+	if b {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+	c.n++ // want `field n \(guarded by mu\) written without holding mu on this path`
+}
+
+// lit hands the guarded field to a literal that may outlive the lock.
+func (c *counter) lit() func() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() int {
+		return c.n // want `field n \(guarded by mu\) read without holding mu on this path`
+	}
+}
+
+// evict resets the counter; callers hold the lock.
+// guarded by mu
+func (c *counter) evict() {
+	c.n = 0
+}
+
+func (c *counter) flushHeld() {
+	c.mu.Lock()
+	c.evict()
+	c.mu.Unlock()
+}
+
+func (c *counter) flushBare() {
+	c.evict() // want "call to evict requires the receiver's mu held"
+}
+
+type table struct {
+	rw sync.RWMutex
+	m  map[string]int // guarded by rw
+}
+
+func (t *table) get(k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.m[k]
+}
+
+func (t *table) put(k string, v int) {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	t.m[k] = v // want `field m \(guarded by rw\) written while only read-locked; Lock rw for writes`
+}
+
+func (t *table) del(k string) {
+	delete(t.m, k) // want `field m \(guarded by rw\) written without holding rw on this path`
+}
+
+func (t *table) putLocked(k string, v int) {
+	t.rw.Lock()
+	defer t.rw.Unlock()
+	t.m[k] = v
+}
+
+type malformed struct {
+	mu sync.Mutex
+	a  int // guarded by mu and sometimes rw // want `guarded by takes one mutex designator`
+}

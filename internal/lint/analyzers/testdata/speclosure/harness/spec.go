@@ -1,0 +1,51 @@
+// Package harness is the harness half of the speclosure golden
+// fixture: a TrialSpec with a sub-struct field, a SpecKey that misses
+// one top-level field and one sub-field, and a ValidateSpec that
+// delegates one field to a helper and skips another.
+package harness
+
+import "errors"
+
+// Topology selects an interaction graph shape.
+type Topology struct {
+	Kind int
+	Rows int
+}
+
+// TrialSpec describes one trial.
+type TrialSpec struct {
+	N        int
+	K        int
+	Seed     uint64
+	Topology Topology
+	Omitted  int
+}
+
+// SpecKey hashes the spec; it deliberately misses Omitted and
+// Topology.Rows.
+func SpecKey(s TrialSpec) int { // want `SpecKey does not hash TrialSpec\.Omitted` `SpecKey does not hash TrialSpec\.Topology\.Rows`
+	return s.N + s.K + int(s.Seed) + s.Topology.Kind
+}
+
+// ValidateSpec checks ranges. K is validated through the helper (the
+// call graph must see through it), Seed is exempt by policy, and
+// Omitted is read by nothing reachable.
+func ValidateSpec(s TrialSpec) error { // want `ValidateSpec never reads TrialSpec\.Omitted`
+	if s.N <= 0 {
+		return errors.New("n must be positive")
+	}
+	if err := validateK(s); err != nil {
+		return err
+	}
+	if s.Topology.Kind < 0 {
+		return errors.New("bad topology kind")
+	}
+	return nil
+}
+
+func validateK(s TrialSpec) error {
+	if s.K <= 0 {
+		return errors.New("k must be positive")
+	}
+	return nil
+}

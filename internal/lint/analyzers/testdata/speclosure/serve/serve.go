@@ -1,0 +1,26 @@
+// Package serve is the serve half of the speclosure golden fixture: it
+// imports the harness fixture by its real testdata path, so the field
+// inventory crosses the package boundary as a fact. The wire mapping
+// deliberately drops one field on both sides.
+package serve
+
+import harness "repro/internal/lint/analyzers/testdata/speclosure/harness"
+
+// TrialRequest mirrors TrialSpec on the wire — minus Omitted.
+type TrialRequest struct { // want `TrialRequest has no Omitted field`
+	N        int
+	K        int
+	Seed     uint64
+	Topology harness.Topology
+}
+
+// Spec builds the engine spec from the wire request; it never sets
+// Omitted.
+func (r *TrialRequest) Spec() harness.TrialSpec {
+	return harness.TrialSpec{ // want `serve mapping never sets TrialSpec\.Omitted`
+		N:        r.N,
+		K:        r.K,
+		Seed:     r.Seed,
+		Topology: harness.Topology{Kind: r.Topology.Kind, Rows: r.Topology.Rows},
+	}
+}

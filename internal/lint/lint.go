@@ -40,6 +40,14 @@ type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+
+	// scopeLine, when nonzero, is the line of the enclosing function
+	// declaration in Pos.Filename. Interprocedural findings (an
+	// unbounded loop three calls away from the handler, a field access
+	// on some path) can be suppressed by a //lint:allow directive on
+	// that line as well as on the finding's own line — the framework
+	// fills it in for analyzers marked Interprocedural.
+	scopeLine int
 }
 
 // String renders the finding in file:line:col form.
@@ -66,6 +74,17 @@ type Analyzer struct {
 	// invariants (e.g. a field used atomically in one package and
 	// plainly in another).
 	Done func(st *State, report func(pos token.Position, format string, args ...any))
+	// RunProgram, if non-nil, runs once after every Run pass with the
+	// whole-program view: the CHA call graph and the analyzer's fact
+	// store (facts exported by Run passes). Setting it makes the runner
+	// build Program (callgraph.go).
+	RunProgram func(pp *ProgramPass)
+	// Interprocedural marks analyzers whose findings implicate whole
+	// call paths rather than single lines. Their diagnostics accept
+	// //lint:allow on the enclosing function's declaration line in
+	// addition to the usual same-line / line-above placements, because
+	// the offending line alone often cannot explain the finding.
+	Interprocedural bool
 }
 
 // Pass carries one analyzer's view of one type-checked package.
@@ -80,6 +99,10 @@ type Pass struct {
 	// State is shared across all of this analyzer's passes and its Done
 	// hook; it is never shared between analyzers.
 	State *State
+	// Facts is the analyzer's cross-pass fact store: Run passes export
+	// facts about objects here; the RunProgram pass imports them. Never
+	// shared between analyzers.
+	Facts *FactStore
 
 	report func(Diagnostic)
 }
@@ -123,6 +146,61 @@ func (s *State) Get(key string, init func() any) any {
 	x := init()
 	s.v[key] = x
 	return x
+}
+
+// Program is the whole-program view handed to RunProgram passes: every
+// loaded analysis package plus the CHA call graph over them. It is
+// built once per Run invocation (only when some analyzer asks for it)
+// and shared read-only by all RunProgram passes.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+	Graph    *CallGraph
+}
+
+// PackageFor returns the analysis unit whose import path satisfies
+// match, or nil. Analyzers use it to locate peers (e.g. speclosure
+// finding the serve package for a harness package) without hard-coding
+// full paths, so golden fixtures under testdata import paths resolve
+// the same way the real tree does.
+func (p *Program) PackageFor(match func(path string) bool) *Package {
+	for _, pkg := range p.Packages {
+		if match(pkg.Path) {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// ProgramPass carries one analyzer's whole-program pass.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Program  *Program
+	// State and Facts are the same objects the analyzer's Run passes
+	// populated.
+	State *State
+	Facts *FactStore
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Program.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Position resolves a token.Pos against the program's file set.
+func (p *ProgramPass) Position(pos token.Pos) token.Position {
+	return p.Program.Fset.Position(pos)
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *ProgramPass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Program.Fset.Position(pos).Filename, "_test.go")
 }
 
 // ErrorType is the universe error type, for signature checks.

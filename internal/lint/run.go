@@ -3,6 +3,7 @@ package lint
 import (
 	"encoding/json"
 	"fmt"
+	"go/ast"
 	"go/token"
 	"io"
 	"sort"
@@ -12,15 +13,27 @@ import (
 // applies //lint:allow suppression, and returns diagnostics sorted by
 // position. The reserved "suppress" pseudo-analyzer contributes
 // malformed-directive, unknown-name, and unused-suppression findings.
+//
+// Phases, in order: per-package Run passes (which may export facts),
+// Done passes (legacy whole-program hook over State), RunProgram passes
+// (whole-program hook over the call graph and fact store — the program
+// is built once, only when some applicable analyzer asks for it).
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+	var fset *token.FileSet
+	if len(pkgs) > 0 {
+		fset = pkgs[0].Fset
+	} else {
+		fset = token.NewFileSet()
+	}
 
 	var diags []Diagnostic
 	report := func(d Diagnostic) { diags = append(diags, d) }
 	states := make(map[string]*State, len(analyzers))
+	facts := make(map[string]*FactStore, len(analyzers))
 	var sups []*Suppression
 
 	for _, pkg := range pkgs {
@@ -35,6 +48,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			if !ok {
 				st = NewState()
 				states[a.Name] = st
+				facts[a.Name] = NewFactStore(pkg.Fset)
 			}
 			a.Run(&Pass{
 				Analyzer: a,
@@ -44,6 +58,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Pkg:      pkg.Pkg,
 				Info:     pkg.Info,
 				State:    st,
+				Facts:    facts[a.Name],
 				report:   report,
 			})
 		}
@@ -62,9 +77,98 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		})
 	}
 
+	var prog *Program
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		st, ok := states[a.Name]
+		if !ok {
+			continue // applied to no package; nothing to check
+		}
+		if prog == nil {
+			prog = &Program{Fset: fset, Packages: pkgs, Graph: BuildCallGraph(fset, pkgs)}
+		}
+		a.RunProgram(&ProgramPass{
+			Analyzer: a,
+			Program:  prog,
+			State:    st,
+			Facts:    facts[a.Name],
+			report:   report,
+		})
+	}
+
+	// Interprocedural findings gain a suppression scope at the enclosing
+	// function's declaration line.
+	interp := make(map[string]bool, len(analyzers))
+	needScopes := false
+	for _, a := range analyzers {
+		if a.Interprocedural {
+			interp[a.Name] = true
+			needScopes = true
+		}
+	}
+	if needScopes {
+		scopes := buildFuncScopes(fset, pkgs)
+		for i := range diags {
+			if interp[diags[i].Analyzer] {
+				diags[i].scopeLine = scopes.declLineFor(diags[i].Pos)
+			}
+		}
+	}
+
 	out := ApplySuppressions(diags, sups)
 	SortDiagnostics(out)
 	return out
+}
+
+// funcScopes maps filenames to function-declaration extents, for
+// resolving a finding's enclosing declaration line.
+type funcScopes map[string][]funcScope
+
+type funcScope struct {
+	startLine, endLine, declLine int
+}
+
+func buildFuncScopes(fset *token.FileSet, pkgs []*Package) funcScopes {
+	scopes := make(funcScopes)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				start := fset.Position(fd.Pos())
+				end := fset.Position(fd.End())
+				scopes[start.Filename] = append(scopes[start.Filename], funcScope{
+					startLine: start.Line,
+					endLine:   end.Line,
+					declLine:  start.Line,
+				})
+			}
+		}
+	}
+	for name, ss := range scopes {
+		sort.Slice(ss, func(i, j int) bool { return ss[i].startLine < ss[j].startLine })
+		scopes[name] = ss
+	}
+	return scopes
+}
+
+// declLineFor returns the declaration line of the innermost function
+// declaration containing pos, or 0 when pos is outside any.
+func (s funcScopes) declLineFor(pos token.Position) int {
+	best := 0
+	for _, sc := range s[pos.Filename] {
+		if sc.startLine > pos.Line {
+			break
+		}
+		if pos.Line <= sc.endLine {
+			best = sc.declLine // later (inner or equal) decls win
+		}
+	}
+	return best
 }
 
 // SortDiagnostics orders by file, line, column, analyzer, message, so
@@ -89,10 +193,21 @@ func SortDiagnostics(ds []Diagnostic) {
 	})
 }
 
+// sortedCopy returns the diagnostics in canonical order without
+// mutating the caller's slice. The writers sort defensively so CI
+// output stays diff-stable even if a caller assembles diagnostics from
+// multiple Run invocations (or a Done/RunProgram phase appended out of
+// position order) without re-sorting.
+func sortedCopy(ds []Diagnostic) []Diagnostic {
+	out := append([]Diagnostic(nil), ds...)
+	SortDiagnostics(out)
+	return out
+}
+
 // WriteText prints diagnostics one per line as file:line:col: analyzer:
-// message.
+// message, in canonical (file, line, column, analyzer) order.
 func WriteText(w io.Writer, ds []Diagnostic) error {
-	for _, d := range ds {
+	for _, d := range sortedCopy(ds) {
 		if _, err := fmt.Fprintln(w, d.String()); err != nil {
 			return err
 		}
@@ -110,10 +225,11 @@ type jsonDiagnostic struct {
 }
 
 // WriteJSON emits diagnostics as a JSON array (always an array, "[]"
-// when clean, so downstream tooling needs no special empty case).
+// when clean, so downstream tooling needs no special empty case), in
+// canonical (file, line, column, analyzer) order.
 func WriteJSON(w io.Writer, ds []Diagnostic) error {
 	out := make([]jsonDiagnostic, 0, len(ds))
-	for _, d := range ds {
+	for _, d := range sortedCopy(ds) {
 		out = append(out, jsonDiagnostic{
 			File:     d.Pos.Filename,
 			Line:     d.Pos.Line,

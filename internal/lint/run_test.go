@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// The writers must emit canonical (file, line, column, analyzer) order
+// even when the caller's slice is not sorted — a Done or RunProgram
+// phase appends after the per-file passes, so positions arrive out of
+// order unless somebody sorts.
+func unsortedDiags() []Diagnostic {
+	mk := func(file string, line, col int, analyzer, msg string) Diagnostic {
+		return Diagnostic{
+			Analyzer: analyzer,
+			Pos:      token.Position{Filename: file, Line: line, Column: col},
+			Message:  msg,
+		}
+	}
+	return []Diagnostic{
+		mk("b.go", 10, 1, "zeta", "late phase"),
+		mk("a.go", 99, 1, "alpha", "tail of a"),
+		mk("a.go", 3, 7, "beta", "same line, later column"),
+		mk("a.go", 3, 2, "gamma", "same line, early column"),
+		mk("a.go", 3, 2, "alpha", "same position, earlier analyzer"),
+	}
+}
+
+func TestWriteTextSortsCanonically(t *testing.T) {
+	ds := unsortedDiags()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	want := []string{
+		"a.go:3:2: alpha: same position, earlier analyzer",
+		"a.go:3:2: gamma: same line, early column",
+		"a.go:3:7: beta: same line, later column",
+		"a.go:99:1: alpha: tail of a",
+		"b.go:10:1: zeta: late phase",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines:\n%s", len(lines), buf.String())
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+	// The caller's slice order is untouched.
+	if ds[0].Analyzer != "zeta" {
+		t.Error("WriteText mutated the caller's slice")
+	}
+}
+
+func TestWriteJSONSortsCanonically(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, unsortedDiags()); err != nil {
+		t.Fatal(err)
+	}
+	var got []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Analyzer string `json:"analyzer"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	var keys []string
+	for _, d := range got {
+		keys = append(keys, d.File+":"+d.Analyzer)
+	}
+	want := []string{"a.go:alpha", "a.go:gamma", "a.go:beta", "a.go:alpha", "b.go:zeta"}
+	if strings.Join(keys, " ") != strings.Join(want, " ") {
+		t.Errorf("JSON order = %v, want %v", keys, want)
+	}
+}
+
+func TestWriteJSONEmptyIsArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Fatalf("empty diagnostics must encode as [], got %q", buf.String())
+	}
+}

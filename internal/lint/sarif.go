@@ -1,0 +1,144 @@
+package lint
+
+// SARIF 2.1.0 exposition for editor and code-scanning integration
+// (`make lint-sarif`). The encoder is stdlib-only and byte-stable: the
+// rules table is the analyzer suite sorted by name, results are in
+// canonical diagnostic order, and everything marshals through structs
+// whose field order fixes the output. A golden test pins the bytes.
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+const sarifSchema = "https://json.schemastore.org/sarif-2.1.0.json"
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF encodes the diagnostics as a SARIF 2.1.0 log. The rules
+// table lists every analyzer in the suite (findings or not — a clean
+// run still documents what was checked), plus the reserved "suppress"
+// rule and a synthetic entry for any diagnostic whose analyzer is not
+// in the suite. File URIs are made relative to root (when given and
+// possible) and use forward slashes, per the SARIF artifactLocation
+// contract.
+func WriteSARIF(w io.Writer, diags []Diagnostic, suite []*Analyzer, root string) error {
+	docs := map[string]string{
+		SuppressName: "suppression hygiene: //lint:allow directives must name a real analyzer, carry a reason, and be used",
+	}
+	for _, a := range suite {
+		docs[a.Name] = a.Doc
+	}
+	for _, d := range diags {
+		if _, ok := docs[d.Analyzer]; !ok {
+			docs[d.Analyzer] = "(no description)"
+		}
+	}
+	names := make([]string, 0, len(docs))
+	for name := range docs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ruleIndex := make(map[string]int, len(names))
+	rules := make([]sarifRule, len(names))
+	for i, name := range names {
+		ruleIndex[name] = i
+		rules[i] = sarifRule{ID: name, ShortDescription: sarifMessage{Text: docs[name]}}
+	}
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range sortedCopy(diags) {
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: ruleIndex[d.Analyzer],
+			// Every finding fails the build (kpart-lint exits non-zero),
+			// so the SARIF level is error, not warning.
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: sarifURI(d.Pos.Filename, root)},
+				Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "kpart-lint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// sarifURI renders a diagnostic filename as a SARIF artifact URI:
+// relative to root when that yields a path inside it, always with
+// forward slashes.
+func sarifURI(filename, root string) string {
+	if root != "" && filepath.IsAbs(filename) {
+		if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			filename = rel
+		}
+	}
+	return filepath.ToSlash(filename)
+}

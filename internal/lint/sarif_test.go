@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"testing"
+)
+
+// The SARIF writer is pinned to the byte: code-scanning consumers diff
+// uploaded logs, so incidental reordering or whitespace drift is a
+// regression even when the JSON is semantically equal.
+func TestWriteSARIFGolden(t *testing.T) {
+	suite := []*Analyzer{
+		{Name: "maporder", Doc: "map iteration order must not reach output"},
+		{Name: "ctxflow", Doc: "reachable unbounded work must poll a context"},
+	}
+	diags := []Diagnostic{
+		{
+			Analyzer: "maporder",
+			Pos:      token.Position{Filename: "/src/m/b/b.go", Line: 4, Column: 9},
+			Message:  "append while ranging over a map",
+		},
+		{
+			Analyzer: "ctxflow",
+			Pos:      token.Position{Filename: "/src/m/a/a.go", Line: 12, Column: 2},
+			Message:  "loop with no condition but cannot receive a context.Context",
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, diags, suite, "/src/m"); err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+  "version": "2.1.0",
+  "runs": [
+    {
+      "tool": {
+        "driver": {
+          "name": "kpart-lint",
+          "rules": [
+            {
+              "id": "ctxflow",
+              "shortDescription": {
+                "text": "reachable unbounded work must poll a context"
+              }
+            },
+            {
+              "id": "maporder",
+              "shortDescription": {
+                "text": "map iteration order must not reach output"
+              }
+            },
+            {
+              "id": "suppress",
+              "shortDescription": {
+                "text": "suppression hygiene: //lint:allow directives must name a real analyzer, carry a reason, and be used"
+              }
+            }
+          ]
+        }
+      },
+      "results": [
+        {
+          "ruleId": "ctxflow",
+          "ruleIndex": 0,
+          "level": "error",
+          "message": {
+            "text": "loop with no condition but cannot receive a context.Context"
+          },
+          "locations": [
+            {
+              "physicalLocation": {
+                "artifactLocation": {
+                  "uri": "a/a.go"
+                },
+                "region": {
+                  "startLine": 12,
+                  "startColumn": 2
+                }
+              }
+            }
+          ]
+        },
+        {
+          "ruleId": "maporder",
+          "ruleIndex": 1,
+          "level": "error",
+          "message": {
+            "text": "append while ranging over a map"
+          },
+          "locations": [
+            {
+              "physicalLocation": {
+                "artifactLocation": {
+                  "uri": "b/b.go"
+                },
+                "region": {
+                  "startLine": 4,
+                  "startColumn": 9
+                }
+              }
+            }
+          ]
+        }
+      ]
+    }
+  ]
+}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("SARIF output drifted.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// The caller's slice order is untouched (WriteSARIF sorts a copy).
+	if diags[0].Analyzer != "maporder" {
+		t.Error("WriteSARIF mutated the caller's slice")
+	}
+}
+
+// An empty run still carries the full rules table and an empty (not
+// null) results array — consumers treat "no results" and "no run" very
+// differently.
+func TestWriteSARIFEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, nil, []*Analyzer{{Name: "alpha", Doc: "d"}}, ""); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Runs []struct {
+			Tool struct {
+				Driver struct {
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(log.Runs) != 1 || len(log.Runs[0].Tool.Driver.Rules) != 2 {
+		t.Fatalf("want 1 run with rules [alpha suppress], got %+v", log)
+	}
+	if log.Runs[0].Results == nil {
+		t.Error("results must be [], not null")
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"results": []`)) {
+		t.Errorf("results must encode as an empty array:\n%s", buf.String())
+	}
+}
+
+// A diagnostic from an analyzer outside the suite (a driver bug or a
+// future phase) still maps to a rule rather than a dangling ruleIndex.
+func TestWriteSARIFUnknownAnalyzer(t *testing.T) {
+	var buf bytes.Buffer
+	diags := []Diagnostic{{
+		Analyzer: "mystery",
+		Pos:      token.Position{Filename: "x.go", Line: 1, Column: 1},
+		Message:  "m",
+	}}
+	if err := WriteSARIF(&buf, diags, nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"id": "mystery"`)) {
+		t.Errorf("unknown analyzer must get a synthetic rule:\n%s", buf.String())
+	}
+}

@@ -115,6 +115,13 @@ func knownNames(known map[string]bool) string {
 // one line: same-line (trailing comment) matches win; a directive that
 // matched nothing on its own line then applies to the next line.
 // "suppress" diagnostics are never suppressible.
+//
+// Interprocedural findings (diagnostics carrying a scope line, set by
+// the runner for analyzers marked Interprocedural) get one more
+// placement: a directive on the enclosing function's declaration line.
+// Unlike the line forms, a function-scoped directive silences every
+// matching finding in the function — the unit of explanation for a
+// call-path finding is the function, not one line of it.
 func ApplySuppressions(diags []Diagnostic, sups []*Suppression) []Diagnostic {
 	type lineKey struct {
 		file     string
@@ -153,6 +160,23 @@ func ApplySuppressions(diags []Diagnostic, sups []*Suppression) []Diagnostic {
 			if ss := byLine[k]; len(ss) > 0 && !ss[0].used {
 				ss[0].used = true
 				continue
+			}
+			// Function-scoped form for interprocedural findings: a
+			// directive on (or just above) the enclosing declaration
+			// line. Scoped directives are not consumed — one silences
+			// every matching finding in the function.
+			if d.scopeLine > 0 && d.scopeLine != d.Pos.Line {
+				scoped := false
+				for _, line := range [2]int{d.scopeLine, d.scopeLine - 1} {
+					if ss := byLine[lineKey{d.Pos.Filename, line, d.Analyzer}]; len(ss) > 0 {
+						ss[0].used = true
+						scoped = true
+						break
+					}
+				}
+				if scoped {
+					continue
+				}
 			}
 		}
 		kept = append(kept, d)

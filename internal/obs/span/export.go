@@ -26,10 +26,10 @@ import (
 // nil-span plumbing makes the entire pipeline untraced.
 type Collector struct {
 	mu     sync.Mutex
-	sink   io.Writer
+	sink   io.Writer // guarded by mu
 	seq    Sequencer
-	traces []*Trace
-	err    error
+	traces []*Trace // guarded by mu
+	err    error    // guarded by mu
 }
 
 // NewCollector returns a collector delivering completed traces to sink
@@ -44,8 +44,10 @@ func (c *Collector) NewTrace(id string) *Trace {
 	if c == nil {
 		return nil
 	}
-	t := NewTrace(id)
-	t.onDone = c.deliver
+	// The hook is installed at construction, before the trace is
+	// published: setting t.onDone after handing t out would race with a
+	// finish() reading it under t.mu.
+	t := newHookedTrace(id, c.deliver)
 	c.mu.Lock()
 	c.traces = append(c.traces, t)
 	c.mu.Unlock()

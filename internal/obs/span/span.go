@@ -68,17 +68,26 @@ type Trace struct {
 	id string
 
 	mu       sync.Mutex
-	seq      int
-	finished []Span
-	streamed int // prefix of finished already written to a sink
-	open     int
-	onDone   func(*Trace)
+	seq      int    // guarded by mu
+	finished []Span // guarded by mu
+	// prefix of finished already written to a sink
+	// guarded by mu
+	streamed int
+	open     int          // guarded by mu
+	onDone   func(*Trace) // guarded by mu
 }
 
 // NewTrace starts a trace under the given ID (see DeriveTraceID for the
 // canonical spec-derived form).
 func NewTrace(id string) *Trace {
-	return &Trace{id: id}
+	return newHookedTrace(id, nil)
+}
+
+// newHookedTrace constructs a trace with its completion hook installed
+// before the trace is published to any other goroutine — the only place
+// onDone may be set without holding mu.
+func newHookedTrace(id string, onDone func(*Trace)) *Trace {
+	return &Trace{id: id, onDone: onDone}
 }
 
 // ID returns the trace identifier.
@@ -258,7 +267,7 @@ func DeriveTraceID(specKey string, occurrence int) string {
 // for one spec get distinct (but run-to-run stable) trace IDs.
 type Sequencer struct {
 	mu   sync.Mutex
-	seen map[string]int
+	seen map[string]int // guarded by mu
 }
 
 // Next returns the next occurrence number for specKey (1 on first use).

@@ -19,8 +19,10 @@ import (
 type Cache struct {
 	mu  sync.Mutex
 	cap int
-	ll  *list.List // front = most recently used
-	m   map[string]*list.Element
+	// front = most recently used
+	// guarded by mu
+	ll *list.List
+	m  map[string]*list.Element // guarded by mu
 }
 
 type cacheEntry struct {
@@ -93,7 +95,7 @@ func (c *Cache) Len() int {
 // this safe: any job for a key produces byte-identical results.
 type flightGroup struct {
 	mu      sync.Mutex
-	pending map[string]*Job
+	pending map[string]*Job // guarded by mu
 }
 
 func newFlightGroup() *flightGroup {

@@ -89,8 +89,8 @@ type Pool struct {
 	flight  *flightGroup
 	workers int
 
-	mu     sync.RWMutex // guards closed vs. sends on queue
-	closed bool
+	mu     sync.RWMutex // serializes closed vs. sends on queue
+	closed bool         // guarded by mu
 	queue  chan *Job
 	wg     sync.WaitGroup
 
