@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt-check lint lint-sarif test race fuzz-smoke bench bench-json serve-smoke serve-bench-json bench-diff bench-diff-report
+.PHONY: check build vet fmt-check lint lint-sarif test race fuzz-smoke bench bench-json serve-smoke serve-bench-json bench-diff bench-diff-report twin-check twin-check-report
 
-check: build vet fmt-check lint test race bench-diff-report
+check: build vet fmt-check lint test race bench-diff-report twin-check-report
 
 build:
 	$(GO) build ./...
@@ -53,7 +53,9 @@ test:
 # the engines the trials drive (countsim includes the batched engine and
 # its seed-stability trajectory test; rng the samplers it draws from),
 # and the HTTP serving layer (worker pool + admission queue + shared
-# LRU). The scenario layer (topology, fairness meters, the weak
+# LRU). internal/twin runs here because its mean-field rung shares a
+# mutex-guarded endgame-chain cache across /v1/predict request
+# goroutines. The scenario layer (topology, fairness meters, the weak
 # adversary) is sequential by design but runs here too: its types are
 # shared across harness workers, so the race detector exercises that
 # sharing through the harness tests. -short skips the minutes-long
@@ -63,7 +65,8 @@ test:
 race:
 	$(GO) test -race -short ./internal/obs ./internal/obs/span ./internal/harness \
 		./internal/sim ./internal/checkpoint ./internal/countsim ./internal/rng \
-		./internal/serve ./internal/topology ./internal/fairness ./internal/sched
+		./internal/serve ./internal/topology ./internal/fairness ./internal/sched \
+		./internal/twin
 
 # Short exploratory pass over every fuzz target (the plain corpora run
 # under `test`); a real campaign raises -fuzztime.
@@ -111,3 +114,20 @@ bench-diff:
 
 bench-diff-report:
 	@$(MAKE) --no-print-directory bench-diff BENCH_DIFF_FLAGS=-report-only
+
+# Accuracy gate for the analytical twin: solve both surrogate rungs live
+# and hold them to their documented error budgets (twin.RelErrExact /
+# twin.RelErrFluid) against TWIN_baseline.json — exact references are
+# recomputed from internal/markov at gate time, simulation references
+# replay from the committed summaries, so the gate costs well under a
+# second. `twin-check` fails the build on a budget violation;
+# `twin-check-report` (the `check` flavor) prints the same comparison
+# without failing. After a legitimate trial-pipeline change, regenerate
+# the sim side with `go run ./cmd/kpart-twin-check -write` and commit
+# the diff.
+TWIN_CHECK_FLAGS ?=
+twin-check:
+	$(GO) run ./cmd/kpart-twin-check $(TWIN_CHECK_FLAGS)
+
+twin-check-report:
+	@$(MAKE) --no-print-directory twin-check TWIN_CHECK_FLAGS=-report-only

@@ -6,10 +6,16 @@
 //	fig5 — interactions vs n = 120·n' for k in {3,4,5,6} (n mod k = 0)
 //	fig6 — interactions vs k at n = 960, log scale (exponential in k)
 //
+// Auxiliary experiments (opt-in by exact -fig name, never part of
+// "all"): traj, scenarios, churn, and predict — the last overlays the
+// analytical twin's predictions (internal/twin) on a fresh simulation of
+// the fig6 grid, the end-to-end predicted-vs-measured comparison.
+//
 // Usage:
 //
 //	kpart-experiments -fig all [-trials 100] [-seed 20180725] [-out results] [-quick]
 //	kpart-experiments -fig 6 -resume [-trial-timeout 10m] [-retries 2]
+//	kpart-experiments -fig predict [-fig6max 12] [-quick]
 //
 // -quick shrinks every sweep (fewer trials, smaller ranges) to finish in
 // seconds; use it to smoke-test the harness before a full reproduction.
@@ -37,9 +43,26 @@ import (
 	"repro/internal/report"
 )
 
+// knownFigs is the complete -fig vocabulary: the paper figures (bare or
+// fig-prefixed, mirroring the matcher in run), "all", and the auxiliary
+// experiments (exact-name opt-ins). The dispatch below silently skips
+// anything it does not match, so admission is checked against this set
+// first.
+var knownFigs = map[string]bool{
+	"all": true,
+	"3":   true, "fig3": true,
+	"4": true, "fig4": true,
+	"5": true, "fig5": true,
+	"6": true, "fig6": true,
+	"traj": true, "scenarios": true, "churn": true, "predict": true,
+}
+
+// figUsage is the valid-values list printed with the unknown-fig error.
+const figUsage = "3, 4, 5, 6 (optionally fig-prefixed), all, traj, scenarios, churn, predict"
+
 func main() {
 	var (
-		fig          = flag.String("fig", "all", "which figure to run: 3, 4, 5, 6, or all; auxiliary experiments: traj, scenarios (topology × fairness), churn (crash survival)")
+		fig          = flag.String("fig", "all", "which figure to run: 3, 4, 5, 6, or all; auxiliary experiments: traj, scenarios (topology × fairness), churn (crash survival), predict (twin predictions vs simulation)")
 		trials       = flag.Int("trials", harness.DefaultTrials, "trials per parameter point")
 		seed         = flag.Uint64("seed", harness.DefaultSeed, "root seed")
 		outDir       = flag.String("out", "results", "directory for CSV output")
@@ -55,6 +78,16 @@ func main() {
 		retries      = flag.Int("retries", 0, "extra attempts for transiently failed trials (deterministic retry seeds)")
 	)
 	flag.Parse()
+
+	// Unknown -fig values fail loudly before any work: the dispatch below
+	// matches by name, and a typo ("-fig 7", "-fig figure6") used to fall
+	// through every matcher and exit 0 having run nothing — easy to read
+	// as "done" at the end of a long scripted campaign.
+	if !knownFigs[*fig] {
+		fmt.Fprintf(os.Stderr,
+			"kpart-experiments: unknown -fig %q; valid values: %s\n", *fig, figUsage)
+		os.Exit(2)
+	}
 
 	// Observability: with -metrics or -debug-addr the parallel trial
 	// runner records per-trial wall times, interaction histograms,
@@ -227,6 +260,9 @@ func main() {
 	})
 	runAux("churn", func(ctx context.Context, o harness.RunOptions) error {
 		return churnExp(ctx, o, *trials, *seed, *outDir, *workers)
+	})
+	runAux("predict", func(ctx context.Context, o harness.RunOptions) error {
+		return predictExp(ctx, o, *trials, *seed, *outDir, *workers, *fig6max, eng)
 	})
 	flushMetrics()
 	if *fig == "traj" {

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/harness"
+	"repro/internal/report"
+	"repro/internal/twin"
+)
+
+// predictExp is the end-to-end predicted-vs-measured experiment: it
+// re-simulates the fig6 grid (interactions vs k at n = 960, with the
+// same journal/resume plumbing as the figure) and overlays the
+// analytical twin's predictions for the same points, charting both and
+// tabulating the per-point disagreement. The twin never sees the trial
+// data — the rel_err column is a genuine out-of-sample comparison, the
+// wide-grid companion to the committed gate in `make twin-check`.
+func predictExp(ctx context.Context, opts harness.RunOptions, trials int, seed uint64, outDir string, workers, kmax int, eng harness.Engine) error {
+	var ks []int
+	for _, k := range []int{2, 3, 4, 5, 6, 8, 10, 12, 15, 16, 20, 24} {
+		if k <= kmax {
+			ks = append(ks, k)
+		}
+	}
+	cfg := harness.Fig6Config{Ks: ks, Trials: trials, Seed: seed, Workers: workers, Engine: eng}
+	pts, err := harness.RunFig6Ctx(ctx, cfg, opts)
+	if err != nil {
+		return err
+	}
+
+	sim := harness.Fig6Series(pts)
+	sim.Name = "simulated " + sim.Name
+	pred := report.Series{Name: "predicted (twin)"}
+	tbl := report.NewTable("n", "k", "model", "fidelity",
+		"predicted", "interval_low", "interval_high", "sim_mean", "sim_ci95", "rel_err")
+	worst := 0.0
+	for _, pt := range pts {
+		pr, err := twin.Auto(twin.Spec{N: pt.N, K: pt.K})
+		if err != nil {
+			return fmt.Errorf("predict n=%d k=%d: %w", pt.N, pt.K, err)
+		}
+		re := math.Abs(pr.ExpectedInteractions-pt.Mean) / (1 + math.Abs(pt.Mean))
+		if re > worst {
+			worst = re
+		}
+		pred.X = append(pred.X, float64(pt.K))
+		pred.Y = append(pred.Y, pr.ExpectedInteractions)
+		tbl.AddRow(pt.N, pt.K, pr.Model, string(pr.Fidelity),
+			pr.ExpectedInteractions, pr.IntervalLow, pr.IntervalHigh, pt.Mean, pt.CI95, re)
+	}
+
+	chart := &report.LineChart{
+		Title:  "Predicted vs simulated interactions at n=960 (log scale)",
+		XLabel: "k", YLabel: "mean interactions", LogY: true,
+		Series: []report.Series{sim, pred},
+	}
+	fmt.Print(chart.String())
+	fmt.Print(tbl.String())
+	fmt.Printf("worst rel_err %.4f (mean-field budget %.2f)\n", worst, twin.RelErrFluid)
+
+	path, err := harness.WriteCSVFile(outDir, "predict.csv", tbl)
+	if err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	jpath, err := harness.SaveJSON(outDir, "predict.json", harness.ResultDoc{
+		Experiment: "predict", Seed: seed, Trials: trials, Points: pts,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("wrote", jpath)
+	return nil
+}

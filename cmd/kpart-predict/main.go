@@ -1,0 +1,74 @@
+// Command kpart-predict answers "how long until a population of n
+// agents stabilizes into k groups?" analytically, without simulating:
+// it asks the twin ladder (internal/twin) for the highest-fidelity rung
+// that can afford the question — the exact lumped chain for small
+// populations, the mean-field fluid model with an exact endgame
+// correction for large ones — and prints the prediction with its error
+// bars and provenance. The same computation backs POST /v1/predict in
+// kpart-serve.
+//
+// Usage:
+//
+//	kpart-predict -n 960 -k 4 [-milestones] [-json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/report"
+	"repro/internal/twin"
+)
+
+func main() {
+	var (
+		n          = flag.Int("n", 960, "population size")
+		k          = flag.Int("k", 3, "number of groups")
+		milestones = flag.Bool("milestones", false, "include per-#gk milestone expectations")
+		asJSON     = flag.Bool("json", false, "emit the prediction as JSON instead of a table")
+	)
+	flag.Parse()
+
+	pr, err := twin.Auto(twin.Spec{N: *n, K: *k, Milestones: *milestones})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(pr); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("Prediction for n=%d, k=%d (model %s, fidelity %s, rel-err budget %.1f%%)\n",
+		pr.N, pr.K, pr.Model, pr.Fidelity, 100*pr.RelErrBudget)
+	tbl := report.NewTable("metric", "interactions")
+	tbl.AddRow("expected", pr.ExpectedInteractions)
+	tbl.AddRow("std", pr.StdInteractions)
+	tbl.AddRow("interval_low (95%)", pr.IntervalLow)
+	tbl.AddRow("interval_high (95%)", pr.IntervalHigh)
+	tbl.WriteTo(os.Stdout)
+	if pr.States > 0 {
+		fmt.Printf("(solved over %d lumped states)\n", pr.States)
+	} else {
+		fmt.Println("(fluid-only answer: no endgame chain fit the state budget)")
+	}
+	if *milestones {
+		ms := report.NewTable("groups_complete", "expected_interactions")
+		for j, m := range pr.Milestones {
+			ms.AddRow(j+1, m)
+		}
+		fmt.Println("\nMilestones (expected interactions until #gk first reaches j):")
+		ms.WriteTo(os.Stdout)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kpart-predict:", err)
+	os.Exit(1)
+}

@@ -39,6 +39,30 @@ func ParseEngine(s string) (Engine, error) {
 	return EngineAgent, fmt.Errorf("%w: unknown engine %q (want agent, count or batch)", ErrInvalidSpec, s)
 }
 
+// ValidatePartition checks the pure problem parameters (n, k) — group
+// count in range for the state-table bound, population size admitting a
+// stable target signature — independent of any execution policy. It is
+// the shared admission predicate for everything keyed by (n, k) alone:
+// trial specs embed it via ValidateSpec, and the analytical twin's
+// prediction specs (internal/twin, POST /v1/predict) use it directly, so
+// a spec the simulator would reject is rejected by the oracle too, with
+// the same ErrInvalidSpec sentinel.
+func ValidatePartition(n, k int) error {
+	if k < 2 {
+		return fmt.Errorf("%w: k=%d (%v)", ErrInvalidSpec, k, core.ErrBadK)
+	}
+	if k > MaxK {
+		return fmt.Errorf("%w: k=%d exceeds the %d-state table bound (max k %d)",
+			ErrInvalidSpec, k, protocol.MaxStates, MaxK)
+	}
+	// Proto is safe now that k is in range; TargetCounts rejects
+	// populations with no stable signature (n < 3).
+	if _, err := Proto(k).TargetCounts(n); err != nil {
+		return fmt.Errorf("%w: n=%d k=%d: %v", ErrInvalidSpec, n, k, err)
+	}
+	return nil
+}
+
 // ValidateSpec checks that spec identifies a runnable trial WITHOUT
 // running it: group count in range, population size admitting a target
 // signature, and a known engine. Failures wrap ErrInvalidSpec — the same
@@ -46,22 +70,13 @@ func ParseEngine(s string) (Engine, error) {
 // rejects invalid specs with 400 before enqueueing them) and the retry
 // policy agree on what "unfixable" means.
 func ValidateSpec(spec TrialSpec) error {
-	if spec.K < 2 {
-		return fmt.Errorf("%w: k=%d (%v)", ErrInvalidSpec, spec.K, core.ErrBadK)
-	}
-	if spec.K > MaxK {
-		return fmt.Errorf("%w: k=%d exceeds the %d-state table bound (max k %d)",
-			ErrInvalidSpec, spec.K, protocol.MaxStates, MaxK)
+	if err := ValidatePartition(spec.N, spec.K); err != nil {
+		return err
 	}
 	switch spec.Engine {
 	case EngineAgent, EngineCount, EngineBatch:
 	default:
 		return fmt.Errorf("%w: unknown engine %d", ErrInvalidSpec, spec.Engine)
-	}
-	// Proto is safe now that k is in range; TargetCounts rejects
-	// populations with no stable signature (n < 3).
-	if _, err := Proto(spec.K).TargetCounts(spec.N); err != nil {
-		return fmt.Errorf("%w: n=%d k=%d: %v", ErrInvalidSpec, spec.N, spec.K, err)
 	}
 	// BatchSize is a mode selector of the batched engine only; on any
 	// other engine a non-zero value would silently change the spec's

@@ -55,7 +55,12 @@ func inDeterministicPkg(path string) bool {
 		// intervals are replay identity and must never depend on when a
 		// run happened. Only its wall.go edge file (edgeFiles) may stamp
 		// wall durations.
-		modPath + "/internal/obs/span":
+		modPath + "/internal/obs/span",
+		// The analytical twin: predictions are the /v1/predict cache's
+		// content and the accuracy gate's subject — a pure function of the
+		// spec with no edge files at all. Latency is measured by the
+		// callers (serve's instrument wrapper, the CLIs).
+		modPath + "/internal/twin":
 		return true
 	}
 	// internal/protocol and every internal/protocols/... variant.

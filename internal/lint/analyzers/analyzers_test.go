@@ -182,6 +182,33 @@ func TestDeterminismSpanEdgeScopes(t *testing.T) {
 	}
 }
 
+// internal/twin has no edge files: predictions are cache content and
+// the accuracy gate's subject, so every file is checked like an engine
+// package.
+func TestDeterminismTwinGolden(t *testing.T) {
+	linttest.Run(t, "testdata/determinismtwin", "repro/internal/twin", analyzers.Determinism)
+}
+
+// The twin scope is the package path, not the file set: the same
+// sources are fully checked under an engine path and out of scope under
+// a harness-layer path.
+func TestDeterminismTwinScopes(t *testing.T) {
+	diags := loadAs(t, "testdata/determinismtwin", "repro/internal/sim", analyzers.Determinism)
+	if len(diags) != 3 {
+		t.Fatalf("engine path must check every file (3 findings), got %v", diags)
+	}
+	diags = loadAs(t, "testdata/determinismtwin", "repro/internal/harness", analyzers.Determinism)
+	if len(diags) != 0 {
+		t.Fatalf("determinism fired outside its package scope: %v", diags)
+	}
+}
+
+// The twin's exported surface is the /v1/predict wire contract; its
+// doc-presence coverage gets its own golden under the real import path.
+func TestDocPresenceTwinGolden(t *testing.T) {
+	linttest.Run(t, "testdata/docpresencetwin", "repro/internal/twin", analyzers.DocPresence)
+}
+
 // External test packages (package foo_test) are analysis units too.
 // atomicfield's Done phase joins facts program-wide, so a plain read
 // from an external test of a field that the package writes atomically

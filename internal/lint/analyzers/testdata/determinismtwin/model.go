@@ -1,0 +1,20 @@
+// Golden input for the determinism analyzer's internal/twin scope: the
+// twin has no edge files — a prediction is cache content and gate
+// subject, so every file is held to the engine-package standard.
+package twin
+
+import "time"
+
+// Predict sketches a surrogate answering with wall-clock leakage.
+func Predict(n, k int) float64 {
+	start := time.Now() // want `time\.Now in deterministic package`
+	_ = start
+	return float64(n * k)
+}
+
+// Warm sketches a cache-warming loop that schedules against the clock.
+func Warm() {
+	t := time.NewTimer(time.Second) // want `time\.NewTimer`
+	defer t.Stop()
+	time.Sleep(time.Millisecond) // want `time\.Sleep`
+}

@@ -1,0 +1,31 @@
+// Golden input for the docpresence analyzer under the twin's import
+// path: the twin's exported surface (specs, predictions, the model
+// interface, the budget constants) is the /v1/predict wire contract and
+// the accuracy gate's vocabulary, so every exported symbol must say
+// what it means.
+package twin
+
+// Spec is documented; no finding.
+type Spec struct {
+	N int
+	K int
+}
+
+type Prediction struct{} // want `exported type Prediction has no doc comment`
+
+// Model is documented.
+type Model interface {
+	// Name is documented.
+	Name() string
+	Predict(s Spec) (Prediction, error)
+}
+
+// RelErrExact is documented.
+const RelErrExact = 0.001
+
+const RelErrFluid = 0.10 // want `exported const RelErrFluid has no doc comment`
+
+func Auto(s Spec) (Prediction, error) { return Prediction{}, nil } // want `exported function Auto has no doc comment`
+
+// NewMeanField is documented.
+func NewMeanField() Model { return nil }

@@ -128,57 +128,7 @@ var (
 // explore.Check) rules those out for the paper's protocol, but the solver
 // still detects the situation and errors rather than looping forever.
 func (ch *Chain) HittingTimes(tol float64, maxIter int) ([]float64, error) {
-	nNodes := len(ch.Graph.Nodes)
-	hasStable := false
-	for _, s := range ch.Stable {
-		if s {
-			hasStable = true
-			break
-		}
-	}
-	if !hasStable {
-		return nil, ErrNoStable
-	}
-	if tol <= 0 {
-		tol = 1e-10
-	}
-	if maxIter <= 0 {
-		maxIter = 2_000_000
-	}
-	// Liveness pre-check: every node must reach the stable set.
-	reach := ch.Graph.CanReach(ch.Stable)
-	for i, ok := range reach {
-		if !ok {
-			return nil, fmt.Errorf("%w: node %d", ErrNoStable, i)
-		}
-	}
-	E := make([]float64, nNodes)
-	for iter := 0; iter < maxIter; iter++ {
-		var maxDelta float64
-		for i := 0; i < nNodes; i++ {
-			if ch.Stable[i] {
-				continue
-			}
-			sum := 1.0
-			for _, e := range ch.Out[i] {
-				sum += e.P * E[e.To]
-			}
-			// E[i] = sum + selfLoop*E[i]  =>  E[i] = sum / (1 - selfLoop).
-			denom := 1 - ch.SelfLoop[i]
-			if denom <= 0 {
-				return nil, fmt.Errorf("%w: node %d is fully self-looping", ErrNoStable, i)
-			}
-			next := sum / denom
-			if d := math.Abs(next - E[i]); d > maxDelta {
-				maxDelta = d
-			}
-			E[i] = next
-		}
-		if maxDelta < tol {
-			return E, nil
-		}
-	}
-	return nil, ErrNoConverge
+	return ch.HittingTimesTo(ch.Stable, tol, maxIter)
 }
 
 // SecondMoments solves for E[T²] given the first moments E[T] (from

@@ -1,0 +1,116 @@
+package serve
+
+// POST /v1/predict: the analytical-twin endpoint. Unlike trials and
+// sweeps it never enqueues work — a prediction is a deterministic
+// computation (internal/twin), answered synchronously on the request
+// goroutine and cached by content-addressed key so repeated questions
+// replay byte-identically. This file is in the determinism analyzer's
+// scope: the key, the record, and the handler must not read the wall
+// clock (request latency is measured by the instrument wrapper at the
+// HTTP edge).
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/harness"
+	"repro/internal/twin"
+)
+
+// PredictRequest is the JSON body of POST /v1/predict: the wire form of
+// a twin.Spec.
+type PredictRequest struct {
+	N          int  `json:"n"`
+	K          int  `json:"k"`
+	Milestones bool `json:"milestones,omitempty"`
+}
+
+// Spec validates the request and returns the prediction spec it names.
+// Errors wrap harness.ErrInvalidSpec; the server maps them to 400 before
+// any model runs (validation-before-admission, same as trials).
+func (r PredictRequest) Spec() (twin.Spec, error) {
+	s := twin.Spec{N: r.N, K: r.K, Milestones: r.Milestones}
+	if err := s.Validate(); err != nil {
+		return twin.Spec{}, err
+	}
+	return s, nil
+}
+
+// PredictKey is the stable content hash identifying a prediction: it
+// covers every field that determines the answer (the question) and
+// nothing else, in the same mold as harness.SpecKey for trials.
+func PredictKey(s twin.Spec) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf(
+		"kpart-predict/v1 n=%d k=%d milestones=%t", s.N, s.K, s.Milestones)))
+	return hex.EncodeToString(h[:16])
+}
+
+// PredictRecord is the canonical POST /v1/predict response document. Its
+// encoded bytes are content-addressed by PredictKey: a cache hit is
+// byte-identical to the response that first computed it, and because the
+// twin itself is deterministic, so is a recomputation after eviction.
+type PredictRecord struct {
+	SpecKey    string          `json:"spec_key"`
+	Prediction twin.Prediction `json:"prediction"`
+}
+
+// Encode marshals the record into its canonical byte form.
+func (rec PredictRecord) Encode() ([]byte, error) {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding prediction %s: %w", rec.SpecKey, err)
+	}
+	return b, nil
+}
+
+// handlePredict: POST /v1/predict. Validate before anything else; serve
+// from the prediction cache when possible; otherwise answer with the
+// auto-selected twin rung, synchronously — the worker pool and its
+// admission queue are never involved.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req PredictRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, "malformed request: "+err.Error())
+		return
+	}
+	spec, err := req.Spec()
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := PredictKey(spec)
+	root, finish := s.startRequestSpan(w, r, "predict", key)
+	defer finish()
+	if body, ok := s.predictions.Get(key); ok {
+		root.SetAttr("cache", "lru")
+		writeRecord(w, "lru", body)
+		return
+	}
+	pr, err := twin.Auto(spec)
+	if err != nil {
+		root.SetAttr("outcome", "error")
+		// Validation already passed, so a failure here is a model limit
+		// (e.g. no rung fits), not a client error — unless the twin's
+		// own validation disagrees, which still maps to 400.
+		if errors.Is(err, harness.ErrInvalidSpec) {
+			writeJSONError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	root.SetAttr("model", pr.Model).SetAttr("fidelity", string(pr.Fidelity))
+	body, err := PredictRecord{SpecKey: key, Prediction: pr}.Encode()
+	if err != nil {
+		root.SetAttr("outcome", "error")
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.predictions.Put(key, body)
+	root.SetAttr("cache", "miss")
+	writeRecord(w, "miss", body)
+}

@@ -52,6 +52,7 @@ type Config struct {
 // Handler() on a listener, stop with Shutdown.
 type Server struct {
 	pool           *Pool
+	predictions    *Cache
 	journal        *harness.Journal
 	reg            *obs.Registry
 	spans          *span.Collector
@@ -78,8 +79,10 @@ func New(cfg Config) *Server {
 		s.retryAfter = time.Second
 	}
 	s.pool = NewPool(cfg.Workers, cfg.QueueDepth, cfg.RunOptions, cfg.Journal, NewCache(cfg.CacheEntries), reg)
+	s.predictions = NewCache(cfg.CacheEntries)
 	s.mux.Handle("POST /v1/trials", s.instrument("trials", s.handleTrial))
 	s.mux.Handle("POST /v1/sweeps", s.instrument("sweeps", s.handleSweep))
+	s.mux.Handle("POST /v1/predict", s.instrument("predict", s.handlePredict))
 	s.mux.Handle("GET /v1/results/{speckey}", s.instrument("results", s.handleResult))
 	s.mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.Handle("GET /metrics", reg.PrometheusHandler())

@@ -1,0 +1,36 @@
+// Package twin is the analytical surrogate ladder for the uniform
+// k-partition protocol: models that answer "how long until stability, and
+// how long until each group completes?" without running a simulation.
+//
+// The ladder has two rungs plus a calibration layer:
+//
+//   - Rung 1 (Lumped, FidelityExact): an exactly lumped Markov chain over
+//     the reduced vector (#initial, #initial', #m2..#m(k−1), #d1..#d(k−2),
+//     #gk). By the Lemma 1 invariant every reachable configuration's
+//     g-counts are a pure function of that vector, so the reduction loses
+//     nothing — the reduced chain is isomorphic to the full configuration
+//     chain, just without the redundant coordinates. The win over
+//     internal/markov is the solver, not the state count: #gk is monotone
+//     under the protocol, so hitting times solve level-by-level (block
+//     back-substitution instead of whole-graph iteration), ALL ⌊n/k⌋
+//     milestones come from one forward occupancy pass instead of one
+//     solve each, and exact variances come from the same layered second-
+//     moment pass. That makes exact milestone curves practical at
+//     populations where internal/markov's per-milestone solves are not.
+//
+//   - Rung 2 (MeanField, FidelityFluid): the finite-n mean-field drift of
+//     the same reduced vector, integrated as an ODE with adaptive RK4,
+//     plus an exact "endgame" sub-chain for the last few #gk levels where
+//     integer effects dominate and the fluid limit is blind. Answers in
+//     microseconds for arbitrary n; accuracy is a calibrated contract
+//     (see RelErrBudget), enforced in CI by `make twin-check` against
+//     recorded simulation means.
+//
+//   - Calibration (rung 3): every Prediction carries a dispersion estimate
+//     — exact second moments on rung 1, a calibrated coefficient of
+//     variation on rung 2 — so error bars come with the point estimate.
+//
+// Auto picks the highest-fidelity rung whose cost fits a state budget;
+// CrossValidate* are the hooks the accuracy gate and the tests use to
+// compare rungs against internal/markov and against trial data.
+package twin
